@@ -1,0 +1,55 @@
+"""§5.1 + §6 ablations — liveness topology scaling and repair-vs-signal.
+
+Topology scaling (§5.1): the overlay implementation's steady-state load
+is flat in the number of groups (pings are shared); direct trees and
+all-to-all grow with group count, all-to-all fastest (n² per group);
+the central server's per-member load stays flat.
+
+Repair ablation (§6): with repair disabled, delegate failures become
+group failures — the false positives the paper's repair design avoids.
+"""
+
+from conftest import record_result
+
+from repro.experiments import ablation
+
+
+def test_ablation_topology_scaling(benchmark):
+    config = ablation.TopologyAblationConfig(
+        n_nodes=40, group_counts=(5, 10, 20), window_minutes=8.0
+    )
+    result = benchmark.pedantic(
+        ablation.run_topology_ablation, args=(config,), rounds=1, iterations=1
+    )
+    record_result("ablation_topologies", result.format_table())
+
+    counts = sorted({c for _, c in result.load})
+    low, high = counts[0], counts[-1]
+    overlay_growth = result.load[("overlay (paper)", high)] / max(
+        result.load[("overlay (paper)", low)], 1e-9
+    )
+    a2a_growth = result.load[("all-to-all", high)] / max(
+        result.load[("all-to-all", low)], 1e-9
+    )
+    direct_growth = result.load[("direct-tree", high)] / max(
+        result.load[("direct-tree", low)], 1e-9
+    )
+    # Overlay: flat in group count (the paper's scalability claim).
+    assert overlay_growth < 1.3
+    # Alternatives: load grows with groups; all-to-all is the steepest
+    # absolute cost at the high end.
+    assert a2a_growth > 1.5 and direct_growth > 1.5
+    assert result.load[("all-to-all", high)] > result.load[("direct-tree", high)]
+
+
+def test_ablation_repair_vs_signal(benchmark):
+    config = ablation.RepairAblationConfig(n_nodes=40, n_groups=10, churn_events=5)
+    result = benchmark.pedantic(
+        ablation.run_repair_ablation, args=(config,), rounds=1, iterations=1
+    )
+    record_result("ablation_repair", result.format_table())
+
+    # Repair keeps delegate churn invisible to applications...
+    assert result.false_positives["repair-enabled"] == 0
+    # ...while the no-repair variant leaks at least one false positive.
+    assert result.false_positives["repair-disabled"] >= 1

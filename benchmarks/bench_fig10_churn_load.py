@@ -1,0 +1,26 @@
+"""Fig 10 — message cost of overlay churn with and without FUSE groups.
+
+Paper bars: 238 msg/s stable, 270 msg/s under churn (+13 %), 523 msg/s
+churn + 100 FUSE groups (+94 %); churn causes repair traffic but zero
+false positives.
+"""
+
+from conftest import record_result
+
+from repro.experiments import churn
+
+
+def test_fig10_churn_load(benchmark):
+    config = churn.ChurnConfig(
+        n_stable=50, n_churning=50, n_groups=30, group_size=10, window_minutes=8.0
+    )
+    result = benchmark.pedantic(churn.run, args=(config,), rounds=1, iterations=1)
+    record_result("fig10_churn_load", result.format_table())
+
+    # Shape 1: churn adds overlay repair traffic.
+    assert result.churn_msgs_per_sec > result.stable_msgs_per_sec
+    # Shape 2: FUSE groups under churn add substantially more (tree
+    # reinstallation), the paper's dominant effect.
+    assert result.churn_fuse_msgs_per_sec > 1.15 * result.churn_msgs_per_sec
+    # Shape 3: despite the churn, no false positives (paper §7.6).
+    assert result.false_positives == 0

@@ -1,0 +1,28 @@
+"""Fig 11 — CDFs of per-route loss under per-link packet loss.
+
+Paper: per-link 0.4 % / 0.8 % / 1.6 % compound over ~15-hop routes into
+median route loss of 5.8 % / 11.4 % / 21.5 %.
+"""
+
+import pytest
+
+from conftest import record_result
+
+from repro.experiments import loss_rates
+
+
+def test_fig11_route_loss(benchmark):
+    config = loss_rates.LossRatesConfig(n_hosts=400, n_pairs=600)
+    result = benchmark.pedantic(loss_rates.run, args=(config,), rounds=1, iterations=1)
+    record_result("fig11_route_loss", result.format_table())
+
+    medians = {
+        per_link: cdf.value_at_fraction(0.5)
+        for per_link, cdf in result.route_loss.items()
+    }
+    # Shape: medians land near the paper's 5.8/11.4/21.5% triple.
+    assert medians[0.004] == pytest.approx(0.058, abs=0.025)
+    assert medians[0.008] == pytest.approx(0.114, abs=0.04)
+    assert medians[0.016] == pytest.approx(0.215, abs=0.07)
+    # Median route length in the paper's regime.
+    assert 8 <= result.hop_counts.value_at_fraction(0.5) <= 22

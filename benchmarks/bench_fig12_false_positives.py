@@ -1,0 +1,31 @@
+"""Fig 12 — FUSE group failures caused by packet loss.
+
+Paper: 20 groups per size 2-32 run for 30 minutes under loss; zero
+failures at 0 % and 5.8 % median route loss (TCP masks the drops); some
+groups fail at 11.4 % and 21.5 %, more at larger sizes.
+"""
+
+from conftest import record_result
+
+from repro.experiments import false_positives
+
+
+def test_fig12_false_positives(benchmark):
+    config = false_positives.FalsePositivesConfig(
+        n_nodes=60, groups_per_size=8, run_minutes=20.0
+    )
+    result = benchmark.pedantic(
+        false_positives.run, args=(config,), rounds=1, iterations=1
+    )
+    record_result("fig12_false_positives", result.format_table())
+
+    sizes = sorted({size for (_pl, size) in result.outcomes})
+    # Shape 1: no failures at all with no loss or the lowest loss rate.
+    for size in sizes:
+        assert result.failure_pct(0.0, size) == 0.0
+        assert result.failure_pct(0.004, size) == 0.0
+    # Shape 2: the highest loss rate does break some groups...
+    worst = max(result.failure_pct(0.016, size) for size in sizes)
+    assert worst > 0.0
+    # ...and larger groups fail at least as often as pairs.
+    assert result.failure_pct(0.016, max(sizes)) >= result.failure_pct(0.016, 2)

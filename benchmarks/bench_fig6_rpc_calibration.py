@@ -1,0 +1,26 @@
+"""Fig 6 — RPC latency calibration benchmark.
+
+Paper: 2400 RPCs over a 400-node deployment; simulator and second-RPC
+curves coincide (median ~130 ms), first-RPC curve sits ~2x higher from
+TCP connection setup.
+"""
+
+from conftest import record_result
+
+from repro.experiments import calibration
+
+
+def test_fig6_rpc_calibration(benchmark):
+    config = calibration.CalibrationConfig(n_hosts=100, n_pairs=250)
+    result = benchmark.pedantic(calibration.run, args=(config,), rounds=1, iterations=1)
+    record_result("fig6_rpc_calibration", result.format_table())
+
+    median_first = result.first.value_at_fraction(0.5)
+    median_second = result.second.value_at_fraction(0.5)
+    median_rtt = result.rtt.value_at_fraction(0.5)
+    # Shape 1: second RPC tracks the raw topology RTT closely.
+    assert median_second <= 1.5 * median_rtt
+    # Shape 2: first RPC pays roughly an extra round trip (~2x).
+    assert 1.5 * median_second <= median_first <= 3.5 * median_second
+    # Shape 3: median in the paper's regime (around 100-250 ms).
+    assert 60.0 <= median_rtt <= 400.0

@@ -1,0 +1,29 @@
+"""Fig 7 — group creation latency vs group size.
+
+Paper: creation latency grows with group size (blocking create waits for
+the furthest member); 25th/75th percentiles converge by size 32.
+"""
+
+from conftest import record_result
+
+from repro.experiments import creation_latency
+
+
+def test_fig7_creation_latency(benchmark):
+    config = creation_latency.CreationConfig(n_nodes=100, groups_per_size=10)
+    result = benchmark.pedantic(
+        creation_latency.run, args=(config,), rounds=1, iterations=1
+    )
+    record_result("fig7_creation_latency", result.format_table())
+
+    assert result.failures == 0
+    medians = {size: hist.pct(50) for size, hist in result.by_size.items()}
+    # Shape 1: monotone-ish growth — the largest groups create slower
+    # than the smallest (allowing sampling noise in between).
+    assert medians[32] > medians[2]
+    # Shape 2: creation is RPC-scale (well under the liveness timeout).
+    assert all(m < 10_000.0 for m in medians.values())
+    # Shape 3: quartile convergence at size 32 relative to median (the
+    # paper's "slow path almost certain" effect) — spread under 60%.
+    s32 = result.by_size[32].summary()
+    assert (s32["p75"] - s32["p25"]) <= 0.6 * s32["p50"] + 100.0

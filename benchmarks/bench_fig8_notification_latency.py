@@ -1,0 +1,35 @@
+"""Fig 8 — latency of explicitly signalled failure notifications.
+
+Paper: notifications are much faster than creation (one-way messages on
+cached connections); the median rises from size 2 to 8 because of the
+extra member->root->member hop; paper max 1165 ms.
+"""
+
+from conftest import record_result
+
+from repro.experiments import creation_latency, notification_latency
+
+
+def test_fig8_notification_latency(benchmark):
+    config = notification_latency.NotificationConfig(n_nodes=100, groups_per_size=10)
+    result = benchmark.pedantic(
+        notification_latency.run, args=(config,), rounds=1, iterations=1
+    )
+    record_result("fig8_notification_latency", result.format_table())
+
+    # Shape 1: every member of every group heard the notification, fast —
+    # the per-group max stays well under the liveness timeout.
+    for size, hist in result.group_latency.items():
+        assert hist.count > 0
+        assert hist.max() < 30_000.0, f"size {size} notification too slow"
+
+    # Shape 2: notification is cheaper than creation at the same scale.
+    creation = creation_latency.run(
+        creation_latency.CreationConfig(n_nodes=100, groups_per_size=5)
+    )
+    for size in (8, 16, 32):
+        assert result.member_latency[size].pct(50) < creation.by_size[size].pct(50)
+
+    # Shape 3: size-2 groups (member->root only) are faster than size-8
+    # (member->root->members adds a forwarding hop).
+    assert result.member_latency[2].pct(50) <= result.member_latency[8].pct(50) * 1.5

@@ -1,0 +1,27 @@
+"""§4 — SV-tree FUSE group size statistics.
+
+Paper: a 2000-subscriber tree on a 16,000-node overlay produced FUSE
+groups with mean 2.9 members and max 13; sizes depend only weakly on
+tree size.  Group size = 2 endpoints + bypassed RPF nodes, so small
+means and a bounded max indicate the SV short-circuiting works.
+"""
+
+from conftest import record_result
+
+from repro.experiments import svtree_stats
+
+
+def test_sec4_svtree_group_sizes(benchmark):
+    config = svtree_stats.SvtreeStatsConfig(
+        n_nodes=100, n_topics=4, subscribers_per_topic=25
+    )
+    result = benchmark.pedantic(svtree_stats.run, args=(config,), rounds=1, iterations=1)
+    record_result("sec4_svtree_groups", result.format_table())
+
+    assert len(result.sizes) > 0
+    # Shape 1: groups are small on average (paper: 2.9) — single digits.
+    assert result.sizes.mean() < 7.0
+    # Shape 2: the max stays bounded (paper: 13) — no runaway groups.
+    assert result.sizes.max() <= 16
+    # Shape 3: minimum possible group is the two link endpoints.
+    assert result.sizes.min() >= 2

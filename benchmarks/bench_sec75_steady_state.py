@@ -1,0 +1,25 @@
+"""§7.5 — steady-state background load with and without FUSE groups.
+
+Paper: 337 msg/s without FUSE groups vs 338 msg/s with 400 groups of 10
+— i.e. FUSE's steady-state cost is one 20-byte hash piggybacked on each
+existing overlay ping, not new messages.
+"""
+
+from conftest import record_result
+
+from repro.experiments import steady_state
+
+
+def test_sec75_steady_state(benchmark):
+    config = steady_state.SteadyStateConfig(
+        n_nodes=100, n_groups=100, group_size=10, window_minutes=10.0
+    )
+    result = benchmark.pedantic(steady_state.run, args=(config,), rounds=1, iterations=1)
+    record_result("sec75_steady_state", result.format_table())
+
+    assert result.groups_created == config.n_groups
+    # The headline number: message overhead within a percent of zero
+    # (paper: 337 -> 338, i.e. +0.3%).
+    assert abs(result.message_overhead_pct) <= 1.5
+    # Bytes may rise slightly (the 20-byte hash rides along).
+    assert result.bytes_per_sec_with >= result.bytes_per_sec_without * 0.99

@@ -1,0 +1,20 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs one experiment driver (scaled to finish in seconds),
+asserts the paper's qualitative shape, and records the generated table
+under benchmarks/results/ so the paper-vs-measured comparison in
+EXPERIMENTS.md can be regenerated from a run's artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

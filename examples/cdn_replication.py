@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""CDN update push with FUSE fate-sharing (§4.1's suggested application).
+
+An origin replicates documents onto replica sets; each document's
+replicas and origin share fate through one FUSE group.  A replica that
+becomes unreachable fails the group: every other replica instantly stops
+serving the (possibly stale) document, and the origin re-replicates onto
+a fresh replica set — no per-document heartbeats required.
+
+Run:  python examples/cdn_replication.py
+"""
+
+from repro import FuseWorld
+from repro.apps.cdn import CdnOrigin, CdnReplica
+
+
+def main() -> None:
+    print("Building a 40-node deployment...")
+    world = FuseWorld(n_nodes=40, seed=11)
+    world.bootstrap()
+
+    origin_node = 0
+    replica_nodes = [5, 12, 19, 26, 33]
+    replicas = {nid: CdnReplica(world.fuse(nid)) for nid in replica_nodes}
+
+    lost_docs = []
+    origin = CdnOrigin(world.fuse(origin_node), on_replicas_lost=lost_docs.append)
+
+    print(f"placing 'index.html' on replicas {replica_nodes[:3]}...")
+    origin.place("index.html", "v1: hello", replica_nodes[:3])
+    world.run_for_minutes(1)
+    for nid in replica_nodes[:3]:
+        print(f"  replica {nid} serves: {replicas[nid].get('index.html')!r}")
+
+    print("\npushing update v2...")
+    origin.push_update("index.html", "v2: hello, world")
+    world.run_for_minutes(1)
+    print(f"  replica {replica_nodes[0]} serves: {replicas[replica_nodes[0]].get('index.html')!r}")
+
+    victim = replica_nodes[1]
+    print(f"\ndisconnecting replica {victim} (it would silently serve stale content)...")
+    world.disconnect(victim)
+    world.run_for_minutes(10)
+    print(f"  origin notified of replica-set loss: {lost_docs}")
+    for nid in replica_nodes[:3]:
+        if nid == victim:
+            continue
+        print(f"  replica {nid} now serves: {replicas[nid].get('index.html')!r} "
+              "(fate-shared invalidation)")
+
+    fresh = [replica_nodes[0], replica_nodes[3], replica_nodes[4]]
+    print(f"\nre-replicating onto {fresh}...")
+    origin.place("index.html", "v2: hello, world", fresh)
+    world.run_for_minutes(1)
+    for nid in fresh:
+        print(f"  replica {nid} serves: {replicas[nid].get('index.html')!r}")
+    print(f"\nlive documents at origin: {origin.live_documents()}")
+
+
+if __name__ == "__main__":
+    main()

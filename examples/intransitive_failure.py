@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Intransitive connectivity failures: where FUSE beats membership lists.
+
+The paper's §2 argument, demonstrated end to end.  A can reach B, B can
+reach C, but A cannot reach C (a router/firewall misconfiguration).  A
+SWIM-style membership service sees both A and C as alive — indirect
+probes through B succeed — so an application waiting on the A<->C path
+just blocks.  FUSE lets the application declare *that operation* failed:
+A signals its group with C, every member is notified, and A's other
+groups (via healthy paths) keep working.
+
+Run:  python examples/intransitive_failure.py
+"""
+
+from repro import FuseWorld
+from repro.apps.membership import SwimConfig, SwimMember
+
+
+def main() -> None:
+    print("Building a 30-node deployment...")
+    world = FuseWorld(n_nodes=30, seed=5)
+    world.bootstrap()
+
+    a, b, c = 2, 9, 17
+
+    # A SWIM membership service runs alongside FUSE on the same nodes.
+    swim_cfg = SwimConfig(protocol_period_ms=5_000.0, probe_timeout_ms=2_000.0)
+    swim = {nid: SwimMember(world.host(nid), world.node_ids, swim_cfg) for nid in world.node_ids}
+    for member in swim.values():
+        member.start()
+
+    # Two FUSE groups at A: one spanning the doomed A-C path, one healthy.
+    fid_ac, _, _ = world.create_group_sync(a, [c])
+    fid_ab, _, _ = world.create_group_sync(a, [b])
+    print(f"group A-C: {fid_ac}")
+    print(f"group A-B: {fid_ab}")
+
+    print(f"\ninjecting intransitive failure: {a} <-/-> {c} (both still reach {b})...")
+    world.net.faults.block_pair(a, c)
+    world.run_for_minutes(10)
+
+    print("\nSWIM's verdict after 10 minutes:")
+    print(f"  node {a} thinks {c} is alive: {swim[a].is_alive(c)}  (indirect probes mask the break)")
+    print(f"  node {c} thinks {a} is alive: {swim[c].is_alive(a)}")
+    print("  -> a membership list cannot express 'this pair is broken'.")
+
+    print(f"\nFUSE's verdict so far: group A-C still live at A: {fid_ac in world.fuse(a).groups}")
+    print("  (FUSE monitors overlay links, not every application path — §3.4)")
+
+    print(f"\nnode {a} tries to send to {c}, times out, and calls SignalFailure (fail-on-send):")
+    world.fuse(a).signal_failure(fid_ac)
+    world.run_for_minutes(2)
+    print(f"  node {c} notified of A-C failure: {fid_ac in world.fuse(c).notifications}")
+    print(f"  node {a} notified of A-C failure: {fid_ac in world.fuse(a).notifications}")
+    print(f"  healthy group A-B unaffected:     {fid_ab in world.fuse(a).groups}")
+    print("\nThe failure was scoped to the broken operation — no node was "
+          "declared dead, and no healthy state was torn down.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments whose setuptools predates PEP 660 editable-wheel support.
+"""
+from setuptools import setup
+
+setup()

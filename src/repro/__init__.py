@@ -1,0 +1,42 @@
+"""Reproduction of *FUSE: Lightweight Guaranteed Distributed Failure
+Notification* (Dunagan, Harvey, Jones, Kostic, Theimer, Wolman -- OSDI
+2004).
+
+Quickstart::
+
+    from repro import FuseWorld
+
+    world = FuseWorld(n_nodes=50, seed=1)
+    world.bootstrap()
+    fid, status, _ = world.create_group_sync(root=0, members=[3, 7])
+    world.fuse(3).register_failure_handler(fid, lambda f: print("failed:", f))
+    world.fuse(7).signal_failure(fid)
+    world.run_for_minutes(1)
+
+Package map:
+
+* :mod:`repro.sim`     -- deterministic discrete-event kernel;
+* :mod:`repro.net`     -- wide-area topology, faults, TCP-like transport;
+* :mod:`repro.overlay` -- SkipNet structured overlay;
+* :mod:`repro.fuse`    -- the FUSE failure-notification service itself;
+* :mod:`repro.apps`    -- SV-tree event delivery and other applications;
+* :mod:`repro.experiments` -- drivers reproducing every figure/table.
+"""
+
+from repro.fuse import FuseConfig, FuseId, FuseService
+from repro.net import MercatorConfig, TransportConfig
+from repro.overlay import OverlayConfig
+from repro.world import FuseWorld
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FuseConfig",
+    "FuseId",
+    "FuseService",
+    "FuseWorld",
+    "MercatorConfig",
+    "OverlayConfig",
+    "TransportConfig",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Applications built on FUSE, mirroring §4 of the paper.
+
+* :mod:`repro.apps.svtree`     — Subscriber/Volunteer multicast trees, the
+  Herald event-delivery application that motivated FUSE.  Demonstrates
+  the paper's central design pattern: garbage-collect out-of-date
+  distributed state via FUSE, then retry with a new group.
+* :mod:`repro.apps.membership` — a SWIM-style weakly consistent
+  membership service, the related-work baseline (§2) FUSE is contrasted
+  against.
+* :mod:`repro.apps.cdn`        — a CDN update-push replicator (§4.1's
+  second suggested application) using per-document FUSE groups for
+  replica fate-sharing.
+"""
+
+from repro.apps.cdn import CdnOrigin, CdnReplica
+from repro.apps.membership import SwimMember, SwimConfig
+from repro.apps.svtree import SVTreeService
+
+__all__ = ["CdnOrigin", "CdnReplica", "SVTreeService", "SwimConfig", "SwimMember"]

@@ -1,0 +1,149 @@
+"""CDN update push with FUSE-guarded replica sets (§4.1).
+
+The paper's second suggested application: a content delivery network that
+replicates many documents and pushes updates along per-document
+replication topologies.  Instead of per-tree heartbeats, each document's
+replica set is fate-shared in one FUSE group:
+
+* the origin creates a FUSE group over {origin} ∪ replicas when it
+  places a document;
+* updates are pushed directly to each replica, version-stamped;
+* if *any* replica becomes unreachable — or a replica detects it is not
+  receiving updates and signals — the group fails, every replica
+  invalidates its copy (no stale serving), and the origin re-replicates
+  onto a fresh replica set with a new group.
+
+This is exactly the "fate-sharing of distributed data items" use of FUSE
+(§2): invalidating one item invalidates all of them, with no per-document
+heartbeat traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.fuse.service import FuseService
+from repro.net.address import NodeId
+from repro.net.message import Message
+
+
+class DocPlace(Message):
+    """Origin -> replica: store this document version."""
+
+    size_bytes = 1024
+
+    def __init__(self, doc: str, version: int, content: str, fuse_id: str) -> None:
+        self.doc = doc
+        self.version = version
+        self.content = content
+        self.fuse_id = fuse_id
+
+
+class DocUpdate(Message):
+    """Origin -> replica: new version of a document you hold."""
+
+    size_bytes = 1024
+
+    def __init__(self, doc: str, version: int, content: str) -> None:
+        self.doc = doc
+        self.version = version
+        self.content = content
+
+
+class CdnReplica:
+    """Replica-side: stores documents while their FUSE group lives."""
+
+    def __init__(self, fuse: FuseService) -> None:
+        self.fuse = fuse
+        self.host = fuse.host
+        self.store: Dict[str, tuple] = {}  # doc -> (version, content)
+        self.invalidations: List[str] = []
+        self.host.on_crash(self.store.clear)
+        self.host.register_handler(DocPlace, self._on_place)
+        self.host.register_handler(DocUpdate, self._on_update)
+
+    def _on_place(self, message: Message) -> None:
+        place = message
+        self.store[place.doc] = (place.version, place.content)
+        self.fuse.register_failure_handler(
+            place.fuse_id, lambda _f, doc=place.doc: self._invalidate(doc)
+        )
+
+    def _on_update(self, message: Message) -> None:
+        update = message
+        held = self.store.get(update.doc)
+        if held is None or held[0] >= update.version:
+            return  # not ours, or a stale/reordered update
+        self.store[update.doc] = (update.version, update.content)
+
+    def _invalidate(self, doc: str) -> None:
+        """Fate-sharing: the group failed, so the copy must not be served."""
+        if self.store.pop(doc, None) is not None:
+            self.invalidations.append(doc)
+
+    def get(self, doc: str) -> Optional[str]:
+        held = self.store.get(doc)
+        return held[1] if held is not None else None
+
+
+class CdnOrigin:
+    """Origin-side: places documents, pushes updates, re-replicates on
+    group failure."""
+
+    def __init__(self, fuse: FuseService, on_replicas_lost: Optional[Callable[[str], None]] = None) -> None:
+        self.fuse = fuse
+        self.host = fuse.host
+        self.sim = fuse.sim
+        self.docs: Dict[str, dict] = {}  # doc -> {version, content, replicas, fuse_id}
+        self.on_replicas_lost = on_replicas_lost
+        self._version = itertools.count(1)
+
+    def place(self, doc: str, content: str, replicas: Sequence[NodeId],
+              on_done: Optional[Callable[[bool], None]] = None) -> None:
+        """Replicate ``doc`` onto ``replicas`` under a fresh FUSE group."""
+        version = next(self._version)
+
+        def on_group(fuse_id, status) -> None:
+            if status != "ok" or fuse_id is None:
+                if on_done is not None:
+                    on_done(False)
+                return
+            self.docs[doc] = {
+                "version": version,
+                "content": content,
+                "replicas": list(replicas),
+                "fuse_id": fuse_id,
+            }
+            self.fuse.register_failure_handler(
+                fuse_id, lambda _f, d=doc, fid=fuse_id: self._on_group_failed(d, fid)
+            )
+            for replica in replicas:
+                self.host.send(replica, DocPlace(doc, version, content, fuse_id))
+            if on_done is not None:
+                on_done(True)
+
+        self.fuse.create_group(list(replicas), on_group)
+
+    def push_update(self, doc: str, content: str) -> bool:
+        """Push a new version to the current replica set.  Returns False
+        if the document currently has no live replica group."""
+        entry = self.docs.get(doc)
+        if entry is None:
+            return False
+        entry["version"] = next(self._version)
+        entry["content"] = content
+        for replica in entry["replicas"]:
+            self.host.send(replica, DocUpdate(doc, entry["version"], content))
+        return True
+
+    def _on_group_failed(self, doc: str, fuse_id: str) -> None:
+        entry = self.docs.get(doc)
+        if entry is None or entry["fuse_id"] != fuse_id:
+            return  # stale notification for a superseded replica set
+        self.docs.pop(doc, None)
+        if self.on_replicas_lost is not None:
+            self.on_replicas_lost(doc)
+
+    def live_documents(self) -> List[str]:
+        return sorted(self.docs)

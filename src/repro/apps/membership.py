@@ -1,0 +1,224 @@
+"""SWIM-style weakly consistent membership service (§2 baseline).
+
+The paper positions FUSE against membership services: a membership list
+says which *nodes* are up, while FUSE says whether a particular *group of
+state* is still intact.  This module implements the classic SWIM
+construction (Das et al., DSN 2002) so the comparison benches can measure
+both abstractions on the same substrate:
+
+* each protocol period, every member probes one random peer;
+* an unanswered probe triggers ``k`` indirect probes through proxies;
+* a peer that fails both direct and indirect probing is declared failed
+  and the verdict is disseminated by gossip piggybacked on probes.
+
+The deliberate limitation (the paper's point, §2): an intransitive
+connectivity failure between A and B either goes unnoticed (some third
+party can still reach B) or force-fails one node globally.  FUSE instead
+scopes the failure to the groups that span the broken path —
+tests/test_membership.py exercises exactly this contrast.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.net.address import NodeId
+from repro.net.message import Message
+from repro.net.node import Host
+
+StatusListener = Callable[[NodeId, str], None]
+
+
+@dataclass
+class SwimConfig:
+    protocol_period_ms: float = 10_000.0
+    probe_timeout_ms: float = 3_000.0
+    indirect_probes: int = 3
+    gossip_fanout: int = 3
+
+
+class SwimProbe(Message):
+    size_bytes = 64
+
+    def __init__(self, nonce: int = 0, gossip: Sequence[NodeId] = ()) -> None:
+        self.nonce = nonce
+        self.gossip = tuple(gossip)  # node ids declared failed
+
+
+class SwimProbeAck(Message):
+    size_bytes = 64
+
+    def __init__(self, nonce: int = 0, gossip: Sequence[NodeId] = ()) -> None:
+        self.nonce = nonce
+        self.gossip = tuple(gossip)
+
+
+class SwimIndirectProbe(Message):
+    """Ask a proxy to probe ``target`` on our behalf."""
+
+    size_bytes = 64
+
+    def __init__(self, target: NodeId = -1, nonce: int = 0) -> None:
+        self.target = target
+        self.nonce = nonce
+
+
+class SwimIndirectAck(Message):
+    """Proxy -> requester: the target answered my probe."""
+
+    size_bytes = 64
+
+    def __init__(self, target: NodeId = -1, nonce: int = 0) -> None:
+        self.target = target
+        self.nonce = nonce
+
+
+class SwimMember:
+    """One node's SWIM instance."""
+
+    def __init__(self, host: Host, peers: Sequence[NodeId], config: Optional[SwimConfig] = None) -> None:
+        self.host = host
+        self.sim = host.network.sim
+        self.config = config or SwimConfig()
+        self.alive_view: Set[NodeId] = {p for p in peers if p != host.node_id}
+        self.failed_view: Set[NodeId] = set()
+        self._listeners: List[StatusListener] = []
+        self._nonce = itertools.count(1)
+        self._pending_direct: Dict[int, NodeId] = {}
+        self._pending_indirect: Dict[int, NodeId] = {}
+        # proxy-side relay bookkeeping: our nonce -> (requester, target,
+        # requester's nonce).
+        self._relay: Dict[int, tuple] = {}
+        self._rng = self.sim.rng.stream(f"swim:{host.name}")
+        self._running = False
+        host.on_crash(self._on_crash)
+        host.register_handler(SwimProbe, self._on_probe)
+        host.register_handler(SwimProbeAck, self._on_probe_ack)
+        host.register_handler(SwimIndirectProbe, self._on_indirect_probe)
+        host.register_handler(SwimIndirectAck, self._on_indirect_ack)
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        phase = self._rng.uniform(0.0, self.config.protocol_period_ms)
+        self.host.call_after(phase, self._period)
+
+    def on_status_change(self, listener: StatusListener) -> None:
+        """listener(node, "failed") whenever the local view declares a
+        node failed (directly or via gossip)."""
+        self._listeners.append(listener)
+
+    def is_alive(self, node: NodeId) -> bool:
+        return node in self.alive_view
+
+    # ------------------------------------------------------------------
+    # Protocol period
+    # ------------------------------------------------------------------
+    def _period(self) -> None:
+        if not self._running:
+            return
+        candidates = sorted(self.alive_view)
+        if candidates:
+            target = self._rng.choice(candidates)
+            self._probe(target)
+        self.host.call_after(self.config.protocol_period_ms, self._period)
+
+    def _probe(self, target: NodeId) -> None:
+        nonce = next(self._nonce)
+        self._pending_direct[nonce] = target
+        self.host.send(
+            target,
+            SwimProbe(nonce, self._gossip_sample()),
+            on_fail=lambda *_: self._direct_failed(nonce),
+        )
+        self.host.call_after(self.config.probe_timeout_ms, lambda: self._direct_failed(nonce))
+
+    def _direct_failed(self, nonce: int) -> None:
+        target = self._pending_direct.pop(nonce, None)
+        if target is None:
+            return  # already answered
+        proxies = [p for p in sorted(self.alive_view) if p != target]
+        self._rng.shuffle(proxies)
+        proxies = proxies[: self.config.indirect_probes]
+        if not proxies:
+            self._declare_failed(target)
+            return
+        inonce = next(self._nonce)
+        self._pending_indirect[inonce] = target
+        for proxy in proxies:
+            self.host.send(proxy, SwimIndirectProbe(target, inonce))
+        self.host.call_after(
+            2.0 * self.config.probe_timeout_ms, lambda: self._indirect_failed(inonce)
+        )
+
+    def _indirect_failed(self, nonce: int) -> None:
+        target = self._pending_indirect.pop(nonce, None)
+        if target is not None:
+            self._declare_failed(target)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _on_probe(self, message: Message) -> None:
+        probe = message
+        if probe.sender is None:
+            return
+        self._absorb_gossip(probe.gossip)
+        self.host.send(probe.sender, SwimProbeAck(probe.nonce, self._gossip_sample()))
+
+    def _on_probe_ack(self, message: Message) -> None:
+        ack = message
+        self._absorb_gossip(ack.gossip)
+        self._pending_direct.pop(ack.nonce, None)
+        relay = self._relay.pop(ack.nonce, None)
+        if relay is not None:
+            requester, target, orig_nonce = relay
+            self.host.send(requester, SwimIndirectAck(target, orig_nonce))
+
+    def _on_indirect_probe(self, message: Message) -> None:
+        """Proxy role: probe the target on the requester's behalf and
+        relay a positive answer back."""
+        req = message
+        requester = req.sender
+        if requester is None or req.target == self.host.node_id:
+            return
+        nonce = next(self._nonce)
+        self._relay[nonce] = (requester, req.target, req.nonce)
+        self.host.send(req.target, SwimProbe(nonce, ()))
+
+    def _on_indirect_ack(self, message: Message) -> None:
+        ack = message
+        self._pending_indirect.pop(ack.nonce, None)
+
+    # ------------------------------------------------------------------
+    # Verdicts and gossip
+    # ------------------------------------------------------------------
+    def _declare_failed(self, node: NodeId) -> None:
+        if node not in self.alive_view:
+            return
+        self.alive_view.discard(node)
+        self.failed_view.add(node)
+        self.sim.metrics.counter("swim.failures_declared").increment()
+        for listener in self._listeners:
+            listener(node, "failed")
+
+    def _absorb_gossip(self, failed_nodes: Sequence[NodeId]) -> None:
+        for node in failed_nodes:
+            if node != self.host.node_id:
+                self._declare_failed(node)
+
+    def _gossip_sample(self) -> List[NodeId]:
+        recent = sorted(self.failed_view)
+        return recent[: self.config.gossip_fanout]
+
+    def _on_crash(self) -> None:
+        self._running = False
+        self._pending_direct.clear()
+        self._pending_indirect.clear()
+        self._relay.clear()

@@ -1,0 +1,6 @@
+"""Subscriber/Volunteer trees: FUSE-based event delivery (§4)."""
+
+from repro.apps.svtree.service import SVTreeService
+from repro.apps.svtree.messages import ContentForward, Publish, SubscribeAck, SubscribeJoin
+
+__all__ = ["ContentForward", "Publish", "SVTreeService", "SubscribeAck", "SubscribeJoin"]

@@ -1,0 +1,69 @@
+"""SV-tree wire messages."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.net.address import NodeId
+from repro.net.message import Message
+
+
+class SubscribeJoin(Message):
+    """Routed from a subscriber toward the topic's root name.  Each hop
+    appends itself to ``path``; the first on-tree node consumes the
+    message and becomes the parent.  ``version`` is the subscriber's
+    per-topic version stamp, the paper's race-condition guard (§3.3/§4)."""
+
+    size_bytes = 160
+
+    def __init__(self, topic: str, subscriber: NodeId, version: int) -> None:
+        self.topic = topic
+        self.subscriber = subscriber
+        self.version = version
+        self.path: List[NodeId] = []
+
+
+class SubscribeAck(Message):
+    """Parent -> subscriber, direct: you are attached; here are the RPF
+    nodes your content link bypasses (the future FUSE group members)."""
+
+    size_bytes = 160
+
+    def __init__(self, topic: str, version: int, bypassed: Sequence[NodeId]) -> None:
+        self.topic = topic
+        self.version = version
+        self.bypassed = tuple(bypassed)
+
+
+class LinkReady(Message):
+    """Subscriber -> parent, direct: the FUSE group guarding our content
+    link exists; associate the child link with it."""
+
+    size_bytes = 128
+
+    def __init__(self, topic: str, version: int, fuse_id: str) -> None:
+        self.topic = topic
+        self.version = version
+        self.fuse_id = fuse_id
+
+
+class Publish(Message):
+    """Routed toward the topic root, which injects it into the tree."""
+
+    size_bytes = 256
+
+    def __init__(self, topic: str, payload: Any, publish_id: int) -> None:
+        self.topic = topic
+        self.payload = payload
+        self.publish_id = publish_id
+
+
+class ContentForward(Message):
+    """Content flowing down a content-forwarding link (parent -> child)."""
+
+    size_bytes = 256
+
+    def __init__(self, topic: str, payload: Any, publish_id: int) -> None:
+        self.topic = topic
+        self.payload = payload
+        self.publish_id = publish_id

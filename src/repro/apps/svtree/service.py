@@ -1,0 +1,276 @@
+"""SV-tree service: FUSE-guarded application-level multicast (§4).
+
+The paper's design pattern, verbatim: *garbage collect out-of-date state
+using FUSE and retry by establishing a new FUSE group and installing new
+application-level state.*  Concretely:
+
+* a subscriber routes a SubscribeJoin toward the topic's root name; the
+  first on-tree node (or the terminal node, which becomes the topic
+  root) adopts it as a child;
+* the content-forwarding link (parent -> child) *and* the RPF-path nodes
+  it bypasses are fate-shared in one FUSE group, created by the
+  subscriber that requested the link;
+* on any failure notification the child tears down the link state and
+  re-subscribes with a bumped version stamp; version stamps stop
+  late-arriving notifications from acting on new links (§3.3);
+* voluntary leaves explicitly signal the same FUSE groups a failure
+  would have signalled, reusing the repair path (§4).
+
+Group sizes are 2 + |bypassed|, which is how the paper gets its "mean
+2.9, max 13" group-size distribution; :mod:`repro.experiments.svtree_stats`
+reproduces that measurement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.apps.svtree.messages import (
+    ContentForward,
+    LinkReady,
+    Publish,
+    SubscribeAck,
+    SubscribeJoin,
+)
+from repro.fuse.service import FuseService
+from repro.net.address import NodeId
+from repro.net.message import Message
+
+EventCallback = Callable[[str, Any], None]
+
+
+class _TopicState:
+    """One node's role on one topic tree."""
+
+    __slots__ = (
+        "topic",
+        "is_root",
+        "is_subscriber",
+        "version",
+        "parent",
+        "parent_fuse_id",
+        "children",
+        "on_event",
+        "delivered_ids",
+    )
+
+    def __init__(self, topic: str) -> None:
+        self.topic = topic
+        self.is_root = False
+        self.is_subscriber = False
+        self.version = 0
+        self.parent: Optional[NodeId] = None
+        self.parent_fuse_id: Optional[str] = None
+        # child node -> fuse id guarding that content link (None until
+        # LinkReady arrives).
+        self.children: Dict[NodeId, Optional[str]] = {}
+        self.on_event: Optional[EventCallback] = None
+        self.delivered_ids: Set[int] = set()
+
+
+def topic_root_name(topic: str) -> str:
+    """Content-addressable root: route to the hash of the topic name."""
+    return "t-" + hashlib.sha1(topic.encode()).hexdigest()[:12]
+
+
+class SVTreeService:
+    """Event delivery over SV trees, one instance per node."""
+
+    def __init__(self, fuse: FuseService) -> None:
+        self.fuse = fuse
+        self.overlay = fuse.overlay
+        self.host = fuse.host
+        self.sim = fuse.sim
+        self.topics: Dict[str, _TopicState] = {}
+        self.group_sizes: List[int] = []  # instrumentation for §4 stats
+        self._publish_seq = itertools.count(1)
+
+        self.host.on_crash(self._on_crash)
+        self.host.register_handler(SubscribeJoin, self._on_join_delivered)
+        self.host.register_handler(SubscribeAck, self._on_subscribe_ack)
+        self.host.register_handler(LinkReady, self._on_link_ready)
+        self.host.register_handler(Publish, self._on_publish_delivered)
+        self.host.register_handler(ContentForward, self._on_content)
+        self.overlay.register_upcall(self._on_upcall)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def subscribe(self, topic: str, on_event: EventCallback) -> None:
+        """Join the topic's tree; ``on_event(topic, payload)`` per event."""
+        state = self.topics.setdefault(topic, _TopicState(topic))
+        state.is_subscriber = True
+        state.on_event = on_event
+        if state.is_root or state.parent is not None:
+            return  # already attached
+        self._send_join(state)
+
+    def unsubscribe(self, topic: str) -> None:
+        """Voluntary leave: explicitly signal the link groups, exactly as
+        a failure would (§4's non-failure FUSE use)."""
+        state = self.topics.get(topic)
+        if state is None:
+            return
+        if state.parent_fuse_id is not None:
+            self.fuse.signal_failure(state.parent_fuse_id)
+        for fuse_id in list(state.children.values()):
+            if fuse_id is not None:
+                self.fuse.signal_failure(fuse_id)
+        self.topics.pop(topic, None)
+
+    def publish(self, topic: str, payload: Any) -> None:
+        """Deliver ``payload`` to every subscriber of ``topic``."""
+        # Publish ids must be unique across publishers — subscribers use
+        # them to deduplicate redundant forwards.
+        publish_id = (self.host.node_id << 32) | next(self._publish_seq)
+        self.overlay.route(topic_root_name(topic), Publish(topic, payload, publish_id))
+
+    def subscribed_topics(self) -> List[str]:
+        return sorted(t for t, s in self.topics.items() if s.is_subscriber)
+
+    # ------------------------------------------------------------------
+    # Subscription path
+    # ------------------------------------------------------------------
+    def _send_join(self, state: _TopicState) -> None:
+        state.version += 1
+        self.overlay.route(
+            topic_root_name(state.topic),
+            SubscribeJoin(state.topic, self.host.node_id, state.version),
+        )
+
+    def _on_upcall(self, envelope, prev_hop, next_hop, delivered) -> bool:
+        payload = envelope.payload
+        if not isinstance(payload, SubscribeJoin):
+            return False
+        if payload.subscriber == self.host.node_id:
+            return False  # origin hop: record nothing, keep routing
+        state = self.topics.get(payload.topic)
+        on_tree = state is not None and (state.is_root or state.parent is not None)
+        if on_tree and not delivered:
+            # First on-tree node adopts the subscriber (SV short-circuit).
+            self._adopt(state, payload)
+            return True
+        if not delivered:
+            payload.path.append(self.host.node_id)  # we are a bypassed hop
+        return False
+
+    def _on_join_delivered(self, message: Message) -> None:
+        """Terminal hop of a SubscribeJoin: this node becomes the topic
+        root (it may already be on the tree)."""
+        join = message
+        state = self.topics.setdefault(join.topic, _TopicState(join.topic))
+        state.is_root = True
+        if join.subscriber == self.host.node_id:
+            return  # we subscribed to a topic rooted at ourselves
+        self._adopt(state, join)
+
+    def _adopt(self, state: _TopicState, join: SubscribeJoin) -> None:
+        state.children.setdefault(join.subscriber, None)
+        self.host.send(
+            join.subscriber, SubscribeAck(state.topic, join.version, join.path)
+        )
+
+    def _on_subscribe_ack(self, message: Message) -> None:
+        ack = message
+        state = self.topics.get(ack.topic)
+        if state is None or ack.version != state.version:
+            return  # stale ack from a superseded subscription attempt
+        parent = ack.sender
+        if parent is None or state.parent is not None:
+            return
+        state.parent = parent
+        # Fate-share the content link with the bypassed RPF nodes (§4).
+        members = [parent] + [b for b in ack.bypassed if b != self.host.node_id]
+        version = state.version
+
+        def on_created(fuse_id, status) -> None:
+            current = self.topics.get(ack.topic)
+            if current is None or current.version != version:
+                return  # a newer subscription superseded this attempt
+            if status != "ok" or fuse_id is None:
+                current.parent = None
+                self._retry_subscribe(current)
+                return
+            current.parent_fuse_id = fuse_id
+            self.group_sizes.append(1 + len(members))
+            self.fuse.register_failure_handler(
+                fuse_id, lambda _f: self._on_link_failed(ack.topic, version)
+            )
+            self.host.send(parent, LinkReady(ack.topic, version, fuse_id))
+
+        self.fuse.create_group(members, on_created)
+
+    def _on_link_ready(self, message: Message) -> None:
+        ready = message
+        state = self.topics.get(ready.topic)
+        child = ready.sender
+        if state is None or child not in state.children:
+            return
+        state.children[child] = ready.fuse_id
+        self.fuse.register_failure_handler(
+            ready.fuse_id, lambda _f: self._on_child_link_failed(ready.topic, child, ready.fuse_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Failure handling: garbage collect, then retry (§4)
+    # ------------------------------------------------------------------
+    def _on_link_failed(self, topic: str, version: int) -> None:
+        state = self.topics.get(topic)
+        if state is None or state.version != version:
+            return  # version stamp: a late notification for an old link
+        state.parent = None
+        state.parent_fuse_id = None
+        if state.is_subscriber:
+            self._retry_subscribe(state)
+
+    def _on_child_link_failed(self, topic: str, child: NodeId, fuse_id: str) -> None:
+        state = self.topics.get(topic)
+        if state is None:
+            return
+        if state.children.get(child) == fuse_id:
+            state.children.pop(child, None)
+
+    def _retry_subscribe(self, state: _TopicState) -> None:
+        # Small delay avoids hammering a freshly failed region.
+        self.host.call_after(2_000.0, lambda: self._retry_if_detached(state.topic))
+
+    def _retry_if_detached(self, topic: str) -> None:
+        state = self.topics.get(topic)
+        if state is None or not state.is_subscriber:
+            return
+        if state.parent is None and not state.is_root:
+            self._send_join(state)
+
+    def _on_crash(self) -> None:
+        self.topics.clear()
+
+    # ------------------------------------------------------------------
+    # Content path
+    # ------------------------------------------------------------------
+    def _on_publish_delivered(self, message: Message) -> None:
+        pub = message
+        state = self.topics.setdefault(pub.topic, _TopicState(pub.topic))
+        state.is_root = True
+        self._dispatch_content(state, pub.payload, pub.publish_id, from_node=None)
+
+    def _on_content(self, message: Message) -> None:
+        fwd = message
+        state = self.topics.get(fwd.topic)
+        if state is None:
+            return
+        self._dispatch_content(state, fwd.payload, fwd.publish_id, from_node=fwd.sender)
+
+    def _dispatch_content(self, state: _TopicState, payload: Any, publish_id: int, from_node) -> None:
+        if publish_id in state.delivered_ids:
+            return
+        state.delivered_ids.add(publish_id)
+        if state.is_subscriber and state.on_event is not None:
+            state.on_event(state.topic, payload)
+        for child in sorted(state.children):
+            if child != from_node:
+                self.host.send(child, ContentForward(state.topic, payload, publish_id))
+
+    def __repr__(self) -> str:
+        return f"SVTreeService({self.host.name}, topics={sorted(self.topics)})"

@@ -1,0 +1,206 @@
+"""§5/§5.1 ablations — liveness topology trade-offs and design switches.
+
+Two studies the paper argues qualitatively, measured here:
+
+1. **Topology scaling** (§5.1): steady-state message load as the number
+   of groups grows, for the overlay implementation (shared pings — load
+   flat in group count) versus direct spanning trees, all-to-all pinging
+   (n² per group), and a central server (per-member flat, server
+   bottleneck).
+
+2. **Repair ablation** (§6 intro): with repair disabled, delegate
+   failures convert directly into group failures; the paper chose repair
+   precisely to avoid these false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.report import format_table
+from repro.fuse.config import FuseConfig
+from repro.fuse.topologies import (
+    AllToAllFuse,
+    CentralServer,
+    CentralServerFuse,
+    DirectTreeFuse,
+    TopologyConfig,
+)
+from repro.net import MercatorConfig, Network, build_mercator_topology
+from repro.net.node import Host
+from repro.sim import Simulator
+from repro.world import FuseWorld
+
+
+@dataclass
+class TopologyAblationConfig:
+    n_nodes: int = 40
+    group_counts: Tuple[int, ...] = (5, 10, 20, 40)
+    group_size: int = 6
+    window_minutes: float = 10.0
+    seed: int = 11
+
+
+class TopologyAblationResult:
+    def __init__(self) -> None:
+        # (topology, n_groups) -> msgs/sec
+        self.load: Dict[Tuple[str, int], float] = {}
+
+    def rows(self) -> List[Tuple]:
+        topologies = sorted({t for t, _ in self.load})
+        counts = sorted({c for _, c in self.load})
+        out = []
+        for topology in topologies:
+            row = [topology] + [round(self.load.get((topology, c), 0.0), 1) for c in counts]
+            out.append(tuple(row))
+        return out
+
+    def format_table(self) -> str:
+        counts = sorted({c for _, c in self.load})
+        return format_table(
+            ["topology"] + [f"{c} groups msg/s" for c in counts],
+            self.rows(),
+            title="§5.1 ablation — steady-state load vs group count "
+            "(overlay: flat; direct/all-to-all: grows; all-to-all fastest growth)",
+        )
+
+
+def _run_alternative(kind: str, n_nodes: int, n_groups: int, group_size: int,
+                     window_ms: float, seed: int) -> float:
+    sim = Simulator(seed=seed)
+    topo, host_ids = build_mercator_topology(
+        MercatorConfig.scaled_for_hosts(n_nodes + 1), sim.rng.stream("topology")
+    )
+    net = Network(sim, topo)
+    hosts = [Host(net, h) for h in host_ids[: n_nodes + 1]]
+    cfg = TopologyConfig()
+    if kind == "central":
+        CentralServer(hosts[-1], cfg)
+        services = [CentralServerFuse(h, hosts[-1].node_id, cfg) for h in hosts[:-1]]
+    elif kind == "direct-tree":
+        services = [DirectTreeFuse(h, cfg) for h in hosts[:-1]]
+    else:
+        services = [AllToAllFuse(h, cfg) for h in hosts[:-1]]
+    rng = sim.rng.stream("ablation-groups")
+    created = []
+    for _ in range(n_groups):
+        indices = rng.sample(range(len(services)), group_size)
+        root, members = indices[0], [hosts[i].node_id for i in indices[1:]]
+        done = []
+        services[root].create_group(members, lambda fid, st: done.append(st))
+        while not done and sim.step():
+            pass
+        created.append(done and done[0] == "ok")
+    sim.metrics.reset_counters()
+    sim.run(until=sim.now + window_ms)
+    return sim.metrics.counter("net.messages").rate_per_second(window_ms)
+
+
+def run_topology_ablation(
+    config: TopologyAblationConfig = TopologyAblationConfig(),
+) -> TopologyAblationResult:
+    result = TopologyAblationResult()
+    window_ms = config.window_minutes * 60_000.0
+
+    for n_groups in config.group_counts:
+        # Overlay implementation (the paper's): load should stay flat.
+        world = FuseWorld(n_nodes=config.n_nodes, seed=config.seed)
+        world.bootstrap()
+        rng = world.sim.rng.stream("ablation-groups")
+        for _ in range(n_groups):
+            root, *members = rng.sample(world.node_ids, config.group_size)
+            world.create_group_sync(root, members)
+        world.run_for_minutes(1.0)
+        world.sim.metrics.reset_counters()
+        world.run_for(window_ms)
+        result.load[("overlay (paper)", n_groups)] = world.sim.metrics.counter(
+            "net.messages"
+        ).rate_per_second(window_ms)
+
+        for kind in ("direct-tree", "all-to-all", "central"):
+            result.load[(kind, n_groups)] = _run_alternative(
+                kind, config.n_nodes, n_groups, config.group_size, window_ms, config.seed
+            )
+    return result
+
+
+@dataclass
+class RepairAblationConfig:
+    n_nodes: int = 40
+    n_groups: int = 12
+    group_size: int = 4
+    churn_events: int = 6
+    observe_minutes: float = 12.0
+    seed: int = 12
+
+
+class RepairAblationResult:
+    def __init__(self) -> None:
+        self.false_positives: Dict[str, int] = {}
+        self.groups: Dict[str, int] = {}
+
+    def rows(self) -> List[Tuple]:
+        return [
+            (mode, self.groups.get(mode, 0), self.false_positives.get(mode, 0))
+            for mode in sorted(self.groups)
+        ]
+
+    def format_table(self) -> str:
+        return format_table(
+            ["mode", "groups", "false positives"],
+            self.rows(),
+            title="§6 ablation — repair vs signal-on-delegate-failure "
+            "(paper chose repair to avoid false positives)",
+        )
+
+
+def run_repair_ablation(
+    config: RepairAblationConfig = RepairAblationConfig(),
+) -> RepairAblationResult:
+    result = RepairAblationResult()
+    for mode, repair in [("repair-enabled", True), ("repair-disabled", False)]:
+        world = FuseWorld(
+            n_nodes=config.n_nodes,
+            seed=config.seed,
+            fuse_config=FuseConfig(repair_enabled=repair),
+        )
+        world.bootstrap()
+        rng = world.sim.rng.stream("repair-ablation")
+        group_members: List[Tuple[str, List[int]]] = []
+        stable = world.node_ids[: config.n_nodes // 2]
+        for _ in range(config.n_groups):
+            root, *members = rng.sample(stable, config.group_size)
+            fid, status, _ = world.create_group_sync(root, members)
+            if status == "ok":
+                group_members.append((fid, [root] + members))
+        result.groups[mode] = len(group_members)
+        world.run_for_minutes(1.0)
+        fids = {fid for fid, _m in group_members}
+        member_nodes = {m for _fid, members in group_members for m in members}
+        for _ in range(config.churn_events):
+            # Crash a node that is currently a *delegate* (holds checking
+            # state for one of our groups without being a member of it).
+            delegates = sorted(
+                nid
+                for nid in world.node_ids
+                if nid not in member_nodes
+                and world.host(nid).alive
+                and any(f in fids for f in world.fuse(nid).groups)
+            )
+            if not delegates:
+                world.run_for_minutes(config.observe_minutes / config.churn_events)
+                continue
+            victim = rng.choice(delegates)
+            world.crash(victim)
+            world.run_for_minutes(config.observe_minutes / config.churn_events)
+            world.restart(victim)
+            world.run_for_minutes(1.0)
+        world.run_for_minutes(2.0)
+        fp = sum(
+            1
+            for fid, members in group_members
+            if any(fid in world.fuse(m).notifications for m in members)
+        )
+        result.false_positives[mode] = fp
+    return result

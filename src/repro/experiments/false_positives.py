@@ -1,0 +1,102 @@
+"""Fig 12 — FUSE group failures caused by packet loss (false positives).
+
+Paper setup: 20 groups of each size (2, 4, 8, 16, 32); per-link loss is
+then enabled at 0.4 % / 0.8 % / 1.6 % (median route loss 5.8 % / 11.4 %
+/ 21.5 %) and the system runs for 30 minutes.
+
+Expected shape: *zero* failures at 0 % and 5.8 % median route loss — TCP
+retransmission masks the drops entirely — while at 11.4 % and 21.5 %
+some sockets break and a fraction of groups (growing with group size,
+since bigger groups expose more links) receive notifications even though
+every node is alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.report import format_table
+from repro.world import FuseWorld
+
+
+@dataclass
+class FalsePositivesConfig:
+    n_nodes: int = 80
+    group_sizes: Sequence[int] = (2, 4, 8, 16, 32)
+    groups_per_size: int = 10
+    per_link_loss: Sequence[float] = (0.0, 0.004, 0.008, 0.016)
+    run_minutes: float = 30.0
+    seed: int = 8
+
+    @classmethod
+    def paper_scale(cls) -> "FalsePositivesConfig":
+        return cls(n_nodes=400, groups_per_size=20)
+
+
+class FalsePositivesResult:
+    def __init__(self) -> None:
+        # per (per_link_loss, size): (groups_failed, groups_total)
+        self.outcomes: Dict[Tuple[float, int], Tuple[int, int]] = {}
+        self.median_route_loss: Dict[float, float] = {}
+
+    def failure_pct(self, per_link: float, size: int) -> float:
+        failed, total = self.outcomes.get((per_link, size), (0, 0))
+        return 100.0 * failed / total if total else 0.0
+
+    def rows(self) -> List[Tuple]:
+        sizes = sorted({size for (_pl, size) in self.outcomes})
+        out = []
+        for per_link in sorted({pl for (pl, _s) in self.outcomes}):
+            row = [
+                f"{per_link * 100:.1f}%",
+                f"{100 * self.median_route_loss.get(per_link, 0):.1f}%",
+            ]
+            row.extend(round(self.failure_pct(per_link, s), 1) for s in sizes)
+            out.append(tuple(row))
+        return out
+
+    def format_table(self) -> str:
+        sizes = sorted({size for (_pl, size) in self.outcomes})
+        return format_table(
+            ["per-link", "median route"] + [f"size {s} fail%" for s in sizes],
+            self.rows(),
+            title="Fig 12 — group failures due to packet loss "
+            "(paper: none at 0/5.8% median route loss, some at 11.4/21.5%)",
+        )
+
+
+def run(config: FalsePositivesConfig = FalsePositivesConfig()) -> FalsePositivesResult:
+    result = FalsePositivesResult()
+    for loss_index, per_link in enumerate(config.per_link_loss):
+        world = FuseWorld(n_nodes=config.n_nodes, seed=config.seed + loss_index)
+        world.bootstrap()
+        rng = world.sim.rng.stream("fp-workload")
+
+        groups: Dict[int, List[str]] = {}
+        for size in config.group_sizes:
+            for _ in range(config.groups_per_size):
+                root, *members = rng.sample(world.node_ids, size)
+                fid, status, _ = world.create_group_sync(root, members)
+                if status == "ok":
+                    groups.setdefault(size, []).append(fid)
+
+        # Record the median route loss this per-link rate produces.
+        world.topology.set_uniform_loss(per_link)
+        sample_losses = []
+        for _ in range(200):
+            a, b = rng.sample(world.node_ids, 2)
+            sample_losses.append(world.net.routes.route(a, b).current_loss())
+        sample_losses.sort()
+        result.median_route_loss[per_link] = sample_losses[len(sample_losses) // 2]
+
+        world.run_for_minutes(config.run_minutes)
+
+        for size, fids in groups.items():
+            failed = sum(
+                1
+                for fid in fids
+                if any(fid in world.fuse(n).notifications for n in world.node_ids)
+            )
+            result.outcomes[(per_link, size)] = (failed, len(fids))
+    return result

@@ -1,0 +1,126 @@
+"""Command-line experiment runner.
+
+Regenerate any paper figure/table from a shell::
+
+    python -m repro.experiments.run fig7
+    python -m repro.experiments.run fig9 --paper-scale
+    python -m repro.experiments.run all
+
+``--paper-scale`` uses the paper's parameters (400 nodes; 16,000 for the
+§4 simulation) and can take minutes; the default scaled-down configs run
+in seconds each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    ablation,
+    agreement,
+    calibration,
+    crash_notification,
+    creation_latency,
+    churn,
+    false_positives,
+    loss_rates,
+    notification_latency,
+    steady_state,
+    svtree_stats,
+)
+
+# name -> (module.run, default config factory, paper-scale config factory)
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable, Callable]] = {
+    "fig6": (
+        calibration.run,
+        calibration.CalibrationConfig,
+        calibration.CalibrationConfig.paper_scale,
+    ),
+    "fig7": (
+        creation_latency.run,
+        creation_latency.CreationConfig,
+        creation_latency.CreationConfig.paper_scale,
+    ),
+    "fig8": (
+        notification_latency.run,
+        notification_latency.NotificationConfig,
+        notification_latency.NotificationConfig.paper_scale,
+    ),
+    "fig9": (
+        crash_notification.run,
+        crash_notification.CrashConfig,
+        crash_notification.CrashConfig.paper_scale,
+    ),
+    "fig10": (churn.run, churn.ChurnConfig, churn.ChurnConfig.paper_scale),
+    "fig11": (
+        loss_rates.run,
+        loss_rates.LossRatesConfig,
+        loss_rates.LossRatesConfig.paper_scale,
+    ),
+    "fig12": (
+        false_positives.run,
+        false_positives.FalsePositivesConfig,
+        false_positives.FalsePositivesConfig.paper_scale,
+    ),
+    "steady-state": (
+        steady_state.run,
+        steady_state.SteadyStateConfig,
+        steady_state.SteadyStateConfig.paper_scale,
+    ),
+    "svtree": (
+        svtree_stats.run,
+        svtree_stats.SvtreeStatsConfig,
+        svtree_stats.SvtreeStatsConfig.paper_scale,
+    ),
+    "agreement": (agreement.run, agreement.AgreementConfig, agreement.AgreementConfig),
+    "ablation-topologies": (
+        ablation.run_topology_ablation,
+        ablation.TopologyAblationConfig,
+        ablation.TopologyAblationConfig,
+    ),
+    "ablation-repair": (
+        ablation.run_repair_ablation,
+        ablation.RepairAblationConfig,
+        ablation.RepairAblationConfig,
+    ),
+}
+
+
+def run_one(name: str, paper_scale: bool) -> None:
+    runner, default_cfg, paper_cfg = EXPERIMENTS[name]
+    config = paper_cfg() if paper_scale else default_cfg()
+    started = time.time()
+    result = runner(config)
+    elapsed = time.time() - started
+    print(result.format_table())
+    print(f"[{name}: {elapsed:.1f}s wall clock]")
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full parameters (slow)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_one(name, args.paper_scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""FUSE: lightweight guaranteed distributed failure notification.
+
+The public API follows Fig 1 of the paper:
+
+* :meth:`FuseService.create_group`  — ``CreateGroup(NodeId[] set)``;
+* :meth:`FuseService.register_failure_handler` —
+  ``RegisterFailureHandler(Callback, FuseId)``;
+* :meth:`FuseService.signal_failure` — ``SignalFailure(FuseId)``.
+
+Semantics (distributed one-way agreement, §3): once any failure condition
+affects a group — a node crash, a network failure FUSE notices, or an
+explicit application signal — every live member's failure handler is
+invoked exactly once within a bounded period of time, and no member's
+group state is ever orphaned.
+
+The default implementation monitors groups with per-group spanning trees
+over SkipNet overlay routes, piggybacking a hash of live group IDs on the
+overlay's existing ping traffic (§5-§6).  Alternative liveness topologies
+from §5.1 live in :mod:`repro.fuse.topologies`.
+"""
+
+from repro.fuse.config import FuseConfig
+from repro.fuse.ids import FuseId
+from repro.fuse.service import FuseService
+
+__all__ = ["FuseConfig", "FuseId", "FuseService"]

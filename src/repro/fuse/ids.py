@@ -1,0 +1,30 @@
+"""FUSE group identifiers.
+
+A FUSE ID is globally unique and deliberately *not* bound to a node or
+process (§2): applications pass it around and associate arbitrary
+distributed state with it.  We generate IDs from the creating node's name
+plus a local counter plus a short hash, which is unique, deterministic
+under a fixed simulation seed, and human-readable in traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+
+FuseId = str
+
+_counter = itertools.count(1)
+
+
+def make_fuse_id(root_name: str, salt: int = 0) -> FuseId:
+    """Create a fresh globally unique FUSE ID."""
+    serial = next(_counter)
+    digest = hashlib.sha1(f"{root_name}:{serial}:{salt}".encode()).hexdigest()[:8]
+    return f"fuse-{root_name}-{serial}-{digest}"
+
+
+def reset_fuse_id_counter() -> None:
+    """Restart the ID serial counter (test isolation only)."""
+    global _counter
+    _counter = itertools.count(1)

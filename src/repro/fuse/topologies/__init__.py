@@ -1,0 +1,35 @@
+"""Alternative FUSE liveness-checking topologies (paper §5.1).
+
+The default implementation (:class:`repro.fuse.service.FuseService`)
+shares liveness traffic with the overlay.  The paper sketches three
+alternatives trading scalability for security, each of which is
+implemented here against the same three-call API:
+
+* :class:`DirectTreeFuse` — per-group spanning trees *without* an overlay
+  (a root-centred star of direct member links).  No delegates, so
+  delegates cannot attack the group; liveness cost grows with the number
+  of groups.
+* :class:`AllToAllFuse` — per-group all-to-all pinging.  No member relies
+  on any other node to forward notifications; n² messages per group;
+  worst-case notification latency of twice the ping interval.
+* :class:`CentralServerFuse` — one trusted server pings every node and
+  notifies groups.  Minimal member load, single point of trust and a
+  server bottleneck.
+
+All three provide the same distributed one-way agreement semantics, which
+the shared test-suite in tests/test_topologies.py asserts.
+"""
+
+from repro.fuse.topologies.all_to_all import AllToAllFuse
+from repro.fuse.topologies.base import AlternativeFuseBase, TopologyConfig
+from repro.fuse.topologies.central import CentralServer, CentralServerFuse
+from repro.fuse.topologies.direct_tree import DirectTreeFuse
+
+__all__ = [
+    "AllToAllFuse",
+    "AlternativeFuseBase",
+    "CentralServer",
+    "CentralServerFuse",
+    "DirectTreeFuse",
+    "TopologyConfig",
+]

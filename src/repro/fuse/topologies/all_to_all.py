@@ -1,0 +1,41 @@
+"""Per-group all-to-all pinging (§5.1, second alternative).
+
+Every member monitors every other member, so no member depends on any
+other node to forward a failure notification — robust even to members
+that drop notifications.  Cost: n² messages per group per ping period.
+Benefit noted by the paper: worst-case notification latency drops to
+twice the pinging interval, because a member that observes a failure
+simply stops acknowledging the group and everyone notices directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro.fuse.topologies.base import AltGroup, AltNotify, AlternativeFuseBase
+from repro.net.address import NodeId
+
+
+class AllToAllFuse(AlternativeFuseBase):
+    """Full-mesh liveness checking within each group."""
+
+    def _group_installed(self, group: AltGroup) -> None:
+        deadline = self.sim.now + self.config.silence_ms
+        for peer in group.peers(self.host.node_id):
+            group.deadlines[peer] = deadline
+        self._ensure_sweeping()
+
+    def _monitored_peers(self, group: AltGroup) -> Set[NodeId]:
+        return set(group.peers(self.host.node_id))
+
+    def _propagate_failure(self, group: AltGroup, reason: str) -> None:
+        # Best effort direct fan-out to every peer; the guaranteed channel
+        # is that we stop acknowledging this group's pings.
+        notify = AltNotify(group.fuse_id, reason)
+        for member in group.peers(self.host.node_id):
+            self.host.send(member, notify)
+
+    def _forward_notification(self, group: AltGroup, notify: AltNotify) -> None:
+        # Everyone hears directly from the signaller (or via ping
+        # cessation); no relay role exists in a full mesh.
+        return

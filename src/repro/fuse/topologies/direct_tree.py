@@ -1,0 +1,50 @@
+"""Per-group spanning trees without an overlay (§5.1, first alternative).
+
+The tree is a root-centred star: the root monitors every member and every
+member monitors the root.  No delegates exist, removing the
+delegate-attack surface; the cost is that liveness traffic is per-group
+(it can only be shared between groups that happen to share a root-member
+pair, which :class:`repro.fuse.topologies.base.AltPing` batching exploits).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro.fuse.topologies.base import AltGroup, AltNotify, AlternativeFuseBase
+from repro.net.address import NodeId
+
+
+class DirectTreeFuse(AlternativeFuseBase):
+    """Star-shaped direct liveness checking rooted at the group creator."""
+
+    def _group_installed(self, group: AltGroup) -> None:
+        deadline = self.sim.now + self.config.silence_ms
+        if group.root == self.host.node_id:
+            for peer in group.peers(self.host.node_id):
+                group.deadlines[peer] = deadline
+        else:
+            group.deadlines[group.root] = deadline
+        self._ensure_sweeping()
+
+    def _monitored_peers(self, group: AltGroup) -> Set[NodeId]:
+        if group.root == self.host.node_id:
+            return set(group.peers(self.host.node_id))
+        return {group.root}
+
+    def _propagate_failure(self, group: AltGroup, reason: str) -> None:
+        notify = AltNotify(group.fuse_id, reason)
+        if group.root == self.host.node_id:
+            for member in group.peers(self.host.node_id):
+                self.host.send(member, notify)
+        else:
+            # Members relay through the root, as in the overlay version's
+            # HardNotification flow.
+            self.host.send(group.root, notify)
+
+    def _forward_notification(self, group: AltGroup, notify: AltNotify) -> None:
+        if group.root != self.host.node_id:
+            return
+        for member in group.peers(self.host.node_id):
+            if member != notify.sender:
+                self.host.send(member, AltNotify(group.fuse_id, notify.reason))

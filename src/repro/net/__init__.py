@@ -1,0 +1,44 @@
+"""Network substrate: topology, routing, faults, and TCP-like transport.
+
+The paper ran its cluster experiments over ModelNet emulating a Mercator
+router-level topology (102,639 routers, 2,662 ASs, 97 % OC3 links at
+10-40 ms / 3 % T3 links at 300-500 ms, ~130 ms median RTT), and its
+simulator experiments over the same topology with latencies only.  This
+package is our equivalent substrate:
+
+* :mod:`repro.net.topology` — router/host graph with per-link latency and
+  loss;
+* :mod:`repro.net.mercator` — a scaled-down synthetic generator with the
+  same structural knobs (two-level AS structure, OC3/T3 mix, heavy tail);
+* :mod:`repro.net.routing` — shortest-latency routes with caching;
+* :mod:`repro.net.faults` — crash, disconnect, partition, intransitive
+  connectivity failure, and per-link loss injection;
+* :mod:`repro.net.transport` — a TCP-flavoured reliable channel with
+  connection caching, retransmission, and socket breaks under loss;
+* :mod:`repro.net.node` — the host abstraction protocols run on.
+"""
+
+from repro.net.address import NodeId
+from repro.net.faults import FaultInjector
+from repro.net.mercator import MercatorConfig, build_mercator_topology
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import Host
+from repro.net.routing import RouteTable
+from repro.net.topology import Link, LinkKind, Topology
+from repro.net.transport import TransportConfig
+
+__all__ = [
+    "FaultInjector",
+    "Host",
+    "Link",
+    "LinkKind",
+    "MercatorConfig",
+    "Message",
+    "Network",
+    "NodeId",
+    "RouteTable",
+    "Topology",
+    "TransportConfig",
+    "build_mercator_topology",
+]

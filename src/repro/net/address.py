@@ -1,0 +1,16 @@
+"""Node addressing.
+
+Hosts (the machines protocols run on) are identified by small integers.
+Routers live in a separate namespace inside :class:`repro.net.topology.Topology`
+and never appear in protocol messages, mirroring how the paper's overlay
+nodes address each other by node identity while ModelNet routers stay
+invisible to the application.
+"""
+
+NodeId = int
+"""Identifier of a host in the simulated network."""
+
+
+def node_name(node_id: NodeId) -> str:
+    """Stable human-readable name for a host, used in traces and tests."""
+    return f"node-{node_id}"

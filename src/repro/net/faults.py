@@ -1,0 +1,127 @@
+"""Fault injection: crashes, disconnects, partitions, intransitive failures.
+
+FUSE's headline guarantee is delivery of failure notifications under *node
+crashes and arbitrary network failures*; this module is where arbitrary
+network failures come from.  The fault model matches §3.5 of the paper:
+
+* **crash** — fail-stop process death (the host stops executing);
+* **disconnect** — the host keeps running but its network is unreachable
+  (how the paper's Fig 9 experiment "disconnected the network on one of
+  the 40 physical machines");
+* **partition** — the host set is split into groups; traffic crosses
+  group boundaries only if explicitly allowed;
+* **intransitive connectivity failure** — a specific pair cannot talk
+  even though both can reach third parties (§2, §3.4);
+* per-link packet loss lives on the topology itself
+  (:meth:`repro.net.topology.Topology.set_uniform_loss`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.net.address import NodeId
+
+
+class FaultInjector:
+    """Mutable fault state consulted by the network on every delivery."""
+
+    def __init__(self) -> None:
+        self._crashed: Set[NodeId] = set()
+        self._disconnected: Set[NodeId] = set()
+        self._blocked_pairs: Set[FrozenSet[NodeId]] = set()
+        self._partition_of: Dict[NodeId, int] = {}
+
+    # ------------------------------------------------------------------
+    # Crashes (fail-stop)
+    # ------------------------------------------------------------------
+    def crash(self, node: NodeId) -> None:
+        self._crashed.add(node)
+
+    def recover(self, node: NodeId) -> None:
+        """Restart a crashed node (the process reinitializes from scratch,
+        per the paper's trivial crash-recovery story in §3.6)."""
+        self._crashed.discard(node)
+
+    def is_crashed(self, node: NodeId) -> bool:
+        return node in self._crashed
+
+    @property
+    def crashed_nodes(self) -> Set[NodeId]:
+        return set(self._crashed)
+
+    # ------------------------------------------------------------------
+    # Network disconnects
+    # ------------------------------------------------------------------
+    def disconnect(self, node: NodeId) -> None:
+        self._disconnected.add(node)
+
+    def reconnect(self, node: NodeId) -> None:
+        self._disconnected.discard(node)
+
+    def is_disconnected(self, node: NodeId) -> bool:
+        return node in self._disconnected
+
+    # ------------------------------------------------------------------
+    # Pairwise (intransitive) failures
+    # ------------------------------------------------------------------
+    def block_pair(self, a: NodeId, b: NodeId) -> None:
+        """Install an intransitive connectivity failure between a and b."""
+        if a == b:
+            raise ValueError("cannot block a node from itself")
+        self._blocked_pairs.add(frozenset((a, b)))
+
+    def unblock_pair(self, a: NodeId, b: NodeId) -> None:
+        self._blocked_pairs.discard(frozenset((a, b)))
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, groups: Iterable[Iterable[NodeId]]) -> None:
+        """Split the listed nodes into isolated groups.
+
+        Nodes not mentioned in any group remain unrestricted (they can
+        talk to everyone), which models partial partitions.  Calling
+        ``partition`` replaces any previous partition.
+        """
+        self._partition_of.clear()
+        for index, group in enumerate(groups):
+            for node in group:
+                if node in self._partition_of:
+                    raise ValueError(f"node {node} appears in two partition groups")
+                self._partition_of[node] = index
+
+    def heal_partition(self) -> None:
+        self._partition_of.clear()
+
+    # ------------------------------------------------------------------
+    # The one question the network asks
+    # ------------------------------------------------------------------
+    def can_communicate(self, a: NodeId, b: NodeId) -> bool:
+        """True if a packet from ``a`` can currently reach ``b``."""
+        if a in self._crashed or b in self._crashed:
+            return False
+        if a in self._disconnected or b in self._disconnected:
+            return False
+        if frozenset((a, b)) in self._blocked_pairs:
+            return False
+        pa = self._partition_of.get(a)
+        pb = self._partition_of.get(b)
+        if pa is not None and pb is not None and pa != pb:
+            return False
+        return True
+
+    def clear(self) -> None:
+        """Remove every injected fault."""
+        self._crashed.clear()
+        self._disconnected.clear()
+        self._blocked_pairs.clear()
+        self._partition_of.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(crashed={sorted(self._crashed)}, "
+            f"disconnected={sorted(self._disconnected)}, "
+            f"blocked_pairs={len(self._blocked_pairs)}, "
+            f"partitioned={len(self._partition_of)})"
+        )

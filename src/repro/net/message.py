@@ -1,0 +1,36 @@
+"""Message base type.
+
+Protocol layers (overlay, FUSE, applications) define message classes by
+subclassing :class:`Message`.  Dispatch at the receiving host is by class
+name, so subclasses should have unique, descriptive names — they double
+as the wire "type" field and as the label in traces and message counters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.address import NodeId
+
+
+class Message:
+    """Base class for every simulated network message.
+
+    Attributes:
+        size_bytes: nominal wire size used by byte counters.  The paper's
+            implementation used a verbose XML messaging layer; we default
+            to a few hundred bytes and let specific messages override
+            (e.g. the 20-byte piggybacked hash rides inside ping messages).
+    """
+
+    size_bytes: int = 256
+
+    # Filled in by the network at send time.
+    sender: Optional[NodeId] = None
+
+    @property
+    def type_name(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{self.type_name}(from={self.sender})"

@@ -1,0 +1,264 @@
+"""The network: delivers messages between hosts over the topology.
+
+This is the single place where topology latency, per-link loss, TCP-style
+retransmission and connection caching, fault state, and per-message CPU
+overhead combine.  Protocol layers above see only: ``send`` a message, get
+it delivered to the destination's handler, or (if the connection breaks)
+get a failure callback — exactly the interface the paper's messaging layer
+gives FUSE and SkipNet.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, FrozenSet, Optional, Set, TYPE_CHECKING
+
+from repro.net.address import NodeId
+from repro.net.faults import FaultInjector
+from repro.net.message import Message
+from repro.net.routing import RouteTable
+from repro.net.topology import Topology
+from repro.net.transport import TransportConfig
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.node import Host
+
+FailureCallback = Callable[[NodeId, Message], None]
+
+
+class Network:
+    """Message fabric connecting :class:`repro.net.node.Host` objects."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        config: Optional[TransportConfig] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.routes = RouteTable(topology)
+        self.config = config or TransportConfig()
+        self.faults = faults or FaultInjector()
+        self._hosts: Dict[NodeId, "Host"] = {}
+        self._connections: Set[FrozenSet[NodeId]] = set()
+        self._send_busy_until: Dict[NodeId, float] = {}
+        self._rng = sim.rng.stream("net.transport")
+
+    # ------------------------------------------------------------------
+    # Host registry
+    # ------------------------------------------------------------------
+    def register_host(self, host: "Host") -> None:
+        if host.node_id in self._hosts:
+            raise ValueError(f"host {host.node_id} already registered")
+        self._hosts[host.node_id] = host
+
+    def host(self, node_id: NodeId) -> "Host":
+        return self._hosts[node_id]
+
+    def hosts(self) -> Dict[NodeId, "Host"]:
+        return dict(self._hosts)
+
+    # ------------------------------------------------------------------
+    # Fault convenience wrappers (keep host flags, fault state, and the
+    # connection cache consistent)
+    # ------------------------------------------------------------------
+    def crash_host(self, node_id: NodeId) -> None:
+        """Fail-stop crash: the process dies and its connections drop."""
+        self.faults.crash(node_id)
+        self._hosts[node_id].mark_crashed()
+        self._purge_connections(node_id)
+
+    def recover_host(self, node_id: NodeId) -> None:
+        """Restart a crashed process with empty volatile state."""
+        self.faults.recover(node_id)
+        self._hosts[node_id].mark_recovered()
+
+    def disconnect_host(self, node_id: NodeId) -> None:
+        """Unplug the host's network; the process keeps running."""
+        self.faults.disconnect(node_id)
+        self._purge_connections(node_id)
+
+    def reconnect_host(self, node_id: NodeId) -> None:
+        self.faults.reconnect(node_id)
+
+    def _purge_connections(self, node_id: NodeId) -> None:
+        self._connections = {pair for pair in self._connections if node_id not in pair}
+
+    def has_connection(self, a: NodeId, b: NodeId) -> bool:
+        return frozenset((a, b)) in self._connections
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        on_fail: Optional[FailureCallback] = None,
+    ) -> None:
+        """Send ``message`` from ``src`` to ``dst`` over the reliable channel.
+
+        Delivery invokes the destination host's handler for the message's
+        class.  If the connection breaks (retries exhausted under loss,
+        partition, crash, or disconnect), ``on_fail(dst, message)`` runs on
+        the sender at the time the break is detected.
+        """
+        if src == dst:
+            raise ValueError("host cannot send a network message to itself")
+        if src not in self._hosts or dst not in self._hosts:
+            raise KeyError(f"unknown endpoint in send {src}->{dst}")
+        sender = self._hosts[src]
+        if not sender.alive:
+            return  # a dead process sends nothing
+
+        metrics = self.sim.metrics
+        metrics.counter("net.messages").increment()
+        metrics.counter(f"net.msg.{message.type_name}").increment()
+        metrics.counter("net.bytes").increment(message.size_bytes)
+
+        # Per-message CPU/serialization occupancy at the sender: messages
+        # queue behind each other (this is what makes large fan-outs at a
+        # group root visible in Fig 8).
+        now = self.sim.now
+        busy = self._send_busy_until.get(src, now)
+        inject_time = max(now, busy) + self.config.send_overhead_ms
+        self._send_busy_until[src] = inject_time
+
+        route = self.routes.route(src, dst)
+        pair = frozenset((src, dst))
+        first_contact = pair not in self._connections
+        payload = copy.copy(message)
+        payload.sender = src
+
+        state = _SendAttemptState(
+            network=self,
+            src=src,
+            dst=dst,
+            message=payload,
+            route=route,
+            first_contact=first_contact,
+            on_fail=on_fail,
+            src_incarnation=sender.incarnation,
+        )
+        self.sim.call_at(inject_time, state.attempt, label=f"tx:{message.type_name}")
+
+    # Internal: called by _SendAttemptState on success of the first segment.
+    def _mark_connected(self, a: NodeId, b: NodeId) -> None:
+        self._connections.add(frozenset((a, b)))
+
+    def _break_connection(self, a: NodeId, b: NodeId) -> None:
+        self._connections.discard(frozenset((a, b)))
+
+    def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        receiver = self._hosts[dst]
+        if not receiver.alive:
+            return
+        self.sim.metrics.counter("net.deliveries").increment()
+        receiver.deliver(message)
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(hosts={len(self._hosts)}, connections={len(self._connections)}, "
+            f"topology={self.topology!r})"
+        )
+
+
+class _SendAttemptState:
+    """Retransmission state machine for one message.
+
+    Attempt 0 goes out immediately; each loss schedules the next attempt
+    after an exponentially backed-off RTO.  When attempts are exhausted the
+    connection breaks and the sender's failure callback runs.
+    """
+
+    __slots__ = (
+        "network",
+        "src",
+        "dst",
+        "message",
+        "route",
+        "first_contact",
+        "on_fail",
+        "src_incarnation",
+        "attempt_index",
+        "rto_ms",
+    )
+
+    def __init__(
+        self,
+        network: Network,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        route,
+        first_contact: bool,
+        on_fail: Optional[FailureCallback],
+        src_incarnation: int,
+    ) -> None:
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.message = message
+        self.route = route
+        self.first_contact = first_contact
+        self.on_fail = on_fail
+        self.src_incarnation = src_incarnation
+        self.attempt_index = 0
+        self.rto_ms = network.config.rto_initial_ms
+
+    def attempt(self) -> None:
+        net = self.network
+        sim = net.sim
+        sender = net.host(self.src)
+        if not sender.alive or sender.incarnation != self.src_incarnation:
+            return  # sender died mid-send; nothing to do
+
+        sim.metrics.counter("net.transmissions").increment()
+        loss = self.route.current_loss()
+        reachable = net.faults.can_communicate(self.src, self.dst)
+        dropped = (not reachable) or (net._rng.random() < loss)
+
+        if not dropped:
+            latency = self.route.current_latency()
+            jitter = net._rng.uniform(0.0, net.config.jitter_fraction) * latency
+            extra = 0.0
+            if self.first_contact:
+                # Connection establishment: one extra round trip of SYN
+                # handshake before data flows.
+                extra = net.config.connection_setup_rtts * 2.0 * latency
+                net._mark_connected(self.src, self.dst)
+            arrival = sim.now + extra + latency + jitter + net.config.recv_overhead_ms
+            sim.call_at(
+                arrival,
+                lambda: net._deliver(self.src, self.dst, self.message),
+                label=f"rx:{self.message.type_name}",
+            )
+            return
+
+        # Segment lost: back off and retry, or break the connection.
+        if self.attempt_index < net.config.max_retries:
+            self.attempt_index += 1
+            delay = self.rto_ms
+            self.rto_ms *= net.config.rto_backoff
+            sim.call_after(delay, self.attempt, label=f"rtx:{self.message.type_name}")
+            return
+
+        # Retries exhausted: the socket breaks.
+        net._break_connection(self.src, self.dst)
+        sim.metrics.counter("net.connection_breaks").increment()
+        if self.on_fail is not None:
+            on_fail = self.on_fail
+            sim.call_after(
+                self.rto_ms,
+                lambda: self._report_failure(on_fail),
+                label=f"brk:{self.message.type_name}",
+            )
+
+    def _report_failure(self, on_fail: FailureCallback) -> None:
+        sender = self.network.host(self.src)
+        if sender.alive and sender.incarnation == self.src_incarnation:
+            on_fail(self.dst, self.message)

@@ -1,0 +1,199 @@
+"""Hosts: the machines protocol stacks run on.
+
+A :class:`Host` owns message handlers, guarded timers, and a small RPC
+facility (request/reply matching with timeout), which is how the paper's
+FUSE implementation performs its direct root<->member exchanges during
+group creation and repair.
+
+Crash semantics: crashing a host bumps its *incarnation* counter and marks
+it dead.  Timers and in-flight callbacks scheduled by an earlier
+incarnation never run again — this models a fail-stop process whose
+volatile state vanished, and makes crash/recovery tests deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional, Type
+
+from repro.net.address import NodeId, node_name
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.events import TimerHandle
+
+Handler = Callable[[Message], None]
+
+
+class RpcRequest(Message):
+    """Base class for request messages carrying an rpc id."""
+
+    def __init__(self) -> None:
+        self.rpc_id: int = -1
+
+
+class RpcReply(Message):
+    """Base class for replies; ``rpc_id`` echoes the request."""
+
+    def __init__(self, rpc_id: int = -1) -> None:
+        self.rpc_id = rpc_id
+
+
+class _PendingRpc:
+    __slots__ = ("on_reply", "on_failure", "timer")
+
+    def __init__(self, on_reply, on_failure, timer) -> None:
+        self.on_reply = on_reply
+        self.on_failure = on_failure
+        self.timer = timer
+
+
+class Host:
+    """A simulated machine with a protocol stack on top."""
+
+    def __init__(self, network: Network, node_id: NodeId, name: Optional[str] = None) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.name = name or node_name(node_id)
+        self.alive = True
+        self.incarnation = 0
+        self._handlers: Dict[str, Handler] = {}
+        self._rpc_seq = itertools.count(1)
+        self._pending_rpcs: Dict[int, _PendingRpc] = {}
+        self._crash_listeners: list = []
+        self._recover_listeners: list = []
+        network.register_host(self)
+        self.register_handler(RpcReply, self._on_rpc_reply)
+
+    def on_crash(self, listener: Callable[[], Any]) -> None:
+        """Register a callback run when this host fail-stops.  Protocol
+        layers use it to discard volatile state, as a real process death
+        would (the paper's §3.6 no-stable-storage model)."""
+        self._crash_listeners.append(listener)
+
+    def on_recover(self, listener: Callable[[], Any]) -> None:
+        """Register a callback run when a crashed host restarts."""
+        self._recover_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def mark_crashed(self) -> None:
+        """Called by the network's crash wrapper; kills volatile state."""
+        self.alive = False
+        self.incarnation += 1
+        self._pending_rpcs.clear()
+        for listener in self._crash_listeners:
+            listener()
+
+    def mark_recovered(self) -> None:
+        """Restart with empty volatile state (no stable storage, §3.6)."""
+        self.alive = True
+        self.incarnation += 1
+        for listener in self._recover_listeners:
+            listener()
+
+    # ------------------------------------------------------------------
+    # Handlers and delivery
+    # ------------------------------------------------------------------
+    def register_handler(self, message_cls: Type[Message], handler: Handler) -> None:
+        name = message_cls.__name__
+        if name in self._handlers and self._handlers[name] is not handler:
+            raise ValueError(f"{self.name}: handler for {name} already registered")
+        self._handlers[name] = handler
+
+    def unregister_handler(self, message_cls: Type[Message]) -> None:
+        self._handlers.pop(message_cls.__name__, None)
+
+    def deliver(self, message: Message) -> None:
+        """Dispatch an arriving message to the registered handler."""
+        if not self.alive:
+            return
+        # Exact class name first, then base classes — so a handler on
+        # RpcReply catches every reply subclass.
+        handler = self._handlers.get(message.type_name)
+        if handler is None:
+            for base in type(message).__mro__[1:]:
+                handler = self._handlers.get(base.__name__)
+                if handler is not None:
+                    break
+        if handler is None:
+            # Unhandled messages are dropped, mirroring a listener that was
+            # torn down; counted so tests can assert nothing leaks.
+            self.network.sim.metrics.counter("net.unhandled").increment()
+            return
+        handler(message)
+
+    # ------------------------------------------------------------------
+    # Sending and timers
+    # ------------------------------------------------------------------
+    def send(self, dst: NodeId, message: Message, on_fail=None) -> None:
+        if not self.alive:
+            return
+        self.network.send(self.node_id, dst, message, on_fail=on_fail)
+
+    def call_after(self, delay_ms: float, callback: Callable[[], Any], label: str = "") -> TimerHandle:
+        """Schedule a callback that is squelched if this host crashes."""
+        incarnation = self.incarnation
+
+        def guarded() -> None:
+            if self.alive and self.incarnation == incarnation:
+                callback()
+
+        return self.network.sim.call_after(delay_ms, guarded, label=label or f"{self.name}:timer")
+
+    # ------------------------------------------------------------------
+    # RPC
+    # ------------------------------------------------------------------
+    def rpc(
+        self,
+        dst: NodeId,
+        request: RpcRequest,
+        timeout_ms: float,
+        on_reply: Callable[[RpcReply], None],
+        on_failure: Callable[[str], None],
+    ) -> int:
+        """Issue a request; exactly one of the callbacks fires.
+
+        ``on_failure`` receives "timeout" or "broken" (connection break).
+        Returns the rpc id.
+        """
+        if not isinstance(request, RpcRequest):
+            raise TypeError("rpc() requires an RpcRequest message")
+        rpc_id = next(self._rpc_seq)
+        request.rpc_id = rpc_id
+
+        def on_timeout() -> None:
+            pending = self._pending_rpcs.pop(rpc_id, None)
+            if pending is not None:
+                pending.on_failure("timeout")
+
+        timer = self.call_after(timeout_ms, on_timeout, label=f"{self.name}:rpc-timeout")
+        self._pending_rpcs[rpc_id] = _PendingRpc(on_reply, on_failure, timer)
+
+        def on_break(_dst: NodeId, _msg: Message) -> None:
+            pending = self._pending_rpcs.pop(rpc_id, None)
+            if pending is not None:
+                pending.timer.cancel()
+                pending.on_failure("broken")
+
+        self.send(dst, request, on_fail=on_break)
+        return rpc_id
+
+    def respond(self, request: RpcRequest, reply: RpcReply, on_fail=None) -> None:
+        """Send ``reply`` back to the requester, echoing its rpc id."""
+        if request.sender is None:
+            raise ValueError("request has no sender; was it delivered by the network?")
+        reply.rpc_id = request.rpc_id
+        self.send(request.sender, reply, on_fail=on_fail)
+
+    def _on_rpc_reply(self, message: Message) -> None:
+        reply = message
+        pending = self._pending_rpcs.pop(getattr(reply, "rpc_id", -1), None)
+        if pending is None:
+            return  # late reply after timeout; drop
+        pending.timer.cancel()
+        pending.on_reply(reply)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"Host({self.name}, {state}, inc={self.incarnation})"

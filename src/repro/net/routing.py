@@ -1,0 +1,126 @@
+"""Shortest-latency routing over the router graph.
+
+Routes are computed with Dijkstra's algorithm on link latency and cached
+per source router.  Host-to-host routes prepend/append the access links.
+The route table also exposes the per-route hop count and compound loss
+probability that the Fig 11 experiment reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.address import NodeId
+from repro.net.topology import Link, Topology
+
+
+class Route:
+    """A resolved host-to-host route."""
+
+    __slots__ = ("src", "dst", "links", "latency_ms", "loss_static")
+
+    def __init__(self, src: NodeId, dst: NodeId, links: Sequence[Link]) -> None:
+        self.src = src
+        self.dst = dst
+        self.links = tuple(links)
+        self.latency_ms = Topology.path_latency(self.links)
+        # Loss captured at build time; current_loss() re-reads the links so
+        # experiments can flip loss on after routes are cached.
+        self.loss_static = Topology.path_loss(self.links)
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed (the paper's 'route hops')."""
+        return len(self.links)
+
+    def current_loss(self) -> float:
+        return Topology.path_loss(self.links)
+
+    def current_latency(self) -> float:
+        return Topology.path_latency(self.links)
+
+    def __repr__(self) -> str:
+        return (
+            f"Route({self.src}->{self.dst}, hops={self.hop_count}, "
+            f"latency={self.latency_ms:.1f}ms)"
+        )
+
+
+class RouteTable:
+    """Caches Dijkstra trees per source router and host-to-host routes."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topo = topology
+        # router -> (predecessor map, distance map)
+        self._trees: Dict[int, Tuple[Dict[int, Optional[int]], Dict[int, float]]] = {}
+        self._routes: Dict[Tuple[NodeId, NodeId], Route] = {}
+
+    def invalidate(self) -> None:
+        """Drop all cached state; call after mutating the topology."""
+        self._trees.clear()
+        self._routes.clear()
+
+    def _dijkstra(self, source: int) -> Tuple[Dict[int, Optional[int]], Dict[int, float]]:
+        cached = self._trees.get(source)
+        if cached is not None:
+            return cached
+        dist: Dict[int, float] = {source: 0.0}
+        prev: Dict[int, Optional[int]] = {source: None}
+        visited = set()
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, router = heapq.heappop(heap)
+            if router in visited:
+                continue
+            visited.add(router)
+            for neighbor, link in self._topo.neighbors(router).items():
+                nd = d + link.latency_ms
+                if nd < dist.get(neighbor, float("inf")):
+                    dist[neighbor] = nd
+                    prev[neighbor] = router
+                    heapq.heappush(heap, (nd, neighbor))
+        self._trees[source] = (prev, dist)
+        return prev, dist
+
+    def router_path(self, src_router: int, dst_router: int) -> List[int]:
+        """Router sequence from src to dst, inclusive; raises if unreachable."""
+        prev, dist = self._dijkstra(src_router)
+        if dst_router not in dist:
+            raise ValueError(f"router {dst_router} unreachable from {src_router}")
+        path = [dst_router]
+        while path[-1] != src_router:
+            parent = prev[path[-1]]
+            if parent is None:
+                break
+            path.append(parent)
+        path.reverse()
+        return path
+
+    def route(self, src: NodeId, dst: NodeId) -> Route:
+        """Host-to-host route (symmetric caching: a->b reverses b->a)."""
+        if src == dst:
+            raise ValueError("route from a host to itself")
+        cached = self._routes.get((src, dst))
+        if cached is not None:
+            return cached
+        reverse = self._routes.get((dst, src))
+        if reverse is not None:
+            route = Route(src, dst, tuple(reversed(reverse.links)))
+        else:
+            router_path = self.router_path(
+                self._topo.host_router(src), self._topo.host_router(dst)
+            )
+            links = self._topo.route_links(src, dst, router_path)
+            route = Route(src, dst, links)
+        self._routes[(src, dst)] = route
+        return route
+
+    def latency(self, src: NodeId, dst: NodeId) -> float:
+        if src == dst:
+            return 0.0
+        return self.route(src, dst).latency_ms
+
+    def rtt(self, src: NodeId, dst: NodeId) -> float:
+        """Round-trip latency (routes are symmetric by construction)."""
+        return 2.0 * self.latency(src, dst)

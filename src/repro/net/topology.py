@@ -1,0 +1,192 @@
+"""Router-level topology with per-link latency and loss.
+
+A topology is an undirected graph whose vertices are *routers* plus a set
+of *hosts*, each attached to one router by an access link.  Links carry a
+one-way latency (ms), a nominal bandwidth tag (OC3/T3/access/intra-AS —
+kept for reporting; the simulator, like the paper's, does not model
+bandwidth contention), and a loss probability applied independently per
+traversal.
+
+End-to-end properties of a route are derived here:
+
+* latency = sum of link latencies along the route;
+* loss    = 1 - prod(1 - link_loss) — this is exactly the model behind
+  the paper's Fig 11 (0.4 %/0.8 %/1.6 % per-link loss compounding over a
+  median 15-hop route into 5.8 %/11.4 %/21.5 % route loss).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.address import NodeId
+
+
+class LinkKind(enum.Enum):
+    """Nominal link classes from the paper's ModelNet configuration."""
+
+    OC3 = "oc3"          # inter-AS, 10-40 ms, 155 Mbps
+    T3 = "t3"            # inter-AS, 300-500 ms, 45 Mbps
+    INTRA_AS = "intra"   # router-to-router inside one AS, sub-ms
+    ACCESS = "access"    # host to edge router
+
+
+class Link:
+    """One undirected router-level link."""
+
+    __slots__ = ("a", "b", "latency_ms", "kind", "loss")
+
+    def __init__(self, a: int, b: int, latency_ms: float, kind: LinkKind, loss: float = 0.0) -> None:
+        if latency_ms < 0:
+            raise ValueError(f"negative link latency: {latency_ms}")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"link loss must be in [0, 1): {loss}")
+        self.a = a
+        self.b = b
+        self.latency_ms = latency_ms
+        self.kind = kind
+        self.loss = loss
+
+    def endpoints(self) -> Tuple[int, int]:
+        return (self.a, self.b)
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.a}<->{self.b}, {self.latency_ms:.1f}ms, "
+            f"{self.kind.value}, loss={self.loss:.4f})"
+        )
+
+
+def _edge_key(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+class Topology:
+    """Mutable router graph plus host attachments."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[int, Dict[int, Link]] = {}
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self._host_router: Dict[NodeId, int] = {}
+        self._host_access: Dict[NodeId, Link] = {}
+        self._next_router = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_router(self) -> int:
+        router = self._next_router
+        self._next_router += 1
+        self._adjacency[router] = {}
+        return router
+
+    def add_link(self, a: int, b: int, latency_ms: float, kind: LinkKind, loss: float = 0.0) -> Link:
+        if a == b:
+            raise ValueError(f"self-loop link on router {a}")
+        for router in (a, b):
+            if router not in self._adjacency:
+                raise KeyError(f"unknown router: {router}")
+        key = _edge_key(a, b)
+        if key in self._links:
+            raise ValueError(f"duplicate link {a}<->{b}")
+        link = Link(a, b, latency_ms, kind, loss)
+        self._links[key] = link
+        self._adjacency[a][b] = link
+        self._adjacency[b][a] = link
+        return link
+
+    def attach_host(self, host: NodeId, router: int, access_latency_ms: float = 1.0) -> None:
+        """Attach ``host`` to ``router`` with a dedicated access link."""
+        if router not in self._adjacency:
+            raise KeyError(f"unknown router: {router}")
+        if host in self._host_router:
+            raise ValueError(f"host {host} already attached")
+        self._host_router[host] = router
+        self._host_access[host] = Link(-1 - host, router, access_latency_ms, LinkKind.ACCESS)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def router_count(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def routers(self) -> Iterable[int]:
+        return self._adjacency.keys()
+
+    def hosts(self) -> Iterable[NodeId]:
+        return self._host_router.keys()
+
+    def host_router(self, host: NodeId) -> int:
+        return self._host_router[host]
+
+    def access_link(self, host: NodeId) -> Link:
+        return self._host_access[host]
+
+    def neighbors(self, router: int) -> Dict[int, Link]:
+        return self._adjacency[router]
+
+    def link_between(self, a: int, b: int) -> Optional[Link]:
+        return self._links.get(_edge_key(a, b))
+
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    # ------------------------------------------------------------------
+    # Loss configuration
+    # ------------------------------------------------------------------
+    def set_uniform_loss(self, loss: float, kinds: Optional[Sequence[LinkKind]] = None) -> None:
+        """Apply ``loss`` to every link (optionally filtered by kind).
+
+        This is how the Fig 11/12 experiments turn on per-link drops after
+        the groups are created ("We then enabled losses...").
+        """
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1): {loss}")
+        wanted = set(kinds) if kinds is not None else None
+        for link in self._links.values():
+            if wanted is None or link.kind in wanted:
+                link.loss = loss
+        for link in self._host_access.values():
+            if wanted is None or link.kind in wanted:
+                link.loss = loss
+
+    # ------------------------------------------------------------------
+    # Route-derived properties
+    # ------------------------------------------------------------------
+    def route_links(self, host_a: NodeId, host_b: NodeId, router_path: Sequence[int]) -> List[Link]:
+        """All links traversed by a host-to-host route over ``router_path``."""
+        if host_a == host_b:
+            return []
+        links: List[Link] = [self._host_access[host_a]]
+        for i in range(len(router_path) - 1):
+            link = self.link_between(router_path[i], router_path[i + 1])
+            if link is None:
+                raise ValueError(
+                    f"router path broken between {router_path[i]} and {router_path[i + 1]}"
+                )
+            links.append(link)
+        links.append(self._host_access[host_b])
+        return links
+
+    @staticmethod
+    def path_latency(links: Sequence[Link]) -> float:
+        return sum(link.latency_ms for link in links)
+
+    @staticmethod
+    def path_loss(links: Sequence[Link]) -> float:
+        survive = 1.0
+        for link in links:
+            survive *= 1.0 - link.loss
+        return 1.0 - survive
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(routers={self.router_count}, links={self.link_count}, "
+            f"hosts={len(self._host_router)})"
+        )

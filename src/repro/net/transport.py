@@ -1,0 +1,84 @@
+"""TCP-flavoured transport model.
+
+The paper routes *all* FUSE and overlay messages over TCP with a cache of
+recently used connections (§6.1, §7.3-7.4).  Three consequences show up in
+its evaluation, and this model reproduces each:
+
+1. **First-contact penalty** (Fig 6): the first message between a pair of
+   hosts pays a connection-establishment round trip; later messages ride
+   the cached connection.
+2. **Loss masking** (Fig 12, low loss): per-segment drops are repaired by
+   retransmission with exponential backoff, so moderate route loss only
+   adds delay.
+3. **Socket breaks** (Fig 12, high loss): when ``max_retries`` successive
+   transmissions of one segment are lost, the connection breaks, the
+   sender's failure callback fires, and the endpoints must reconnect —
+   FUSE interprets this as "the node at the other end is unavailable"
+   (§6.1).
+
+Bandwidth is not modeled (matching the paper's simulator).  Per-message
+CPU/serialization overhead *is* modeled, because the paper measured it
+(2.8 ms per send plus 1.1 ms co-location overhead) and attributes the
+Fig 8 latency rise at group sizes 16-32 to serial sends at the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TransportConfig:
+    """Timing and retry knobs for the TCP-like channel."""
+
+    send_overhead_ms: float = 2.8
+    """CPU time to serialize and hand one message to the network (paper:
+    2.8 ms base overhead including XML serialization)."""
+
+    recv_overhead_ms: float = 1.1
+    """Per-message receive-side overhead (paper: ~1.1 ms when running 10
+    virtual nodes per machine)."""
+
+    connection_setup_rtts: float = 1.0
+    """Extra round trips to establish a TCP connection before the first
+    byte of data (SYN / SYN-ACK)."""
+
+    rto_initial_ms: float = 200.0
+    """Initial retransmission timeout; doubles on every loss."""
+
+    rto_backoff: float = 2.0
+
+    max_retries: int = 4
+    """Retransmission attempts before the connection breaks.  Calibrated
+    so that compound route loss ~6 % is fully masked while ~20 % route
+    loss breaks sockets at a noticeable rate (the Fig 12 regime)."""
+
+    jitter_fraction: float = 0.02
+    """Uniform latency jitter applied to each traversal, as a fraction of
+    the route latency (queueing noise)."""
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.rto_initial_ms <= 0:
+            raise ValueError("rto_initial_ms must be positive")
+        if self.rto_backoff < 1.0:
+            raise ValueError("rto_backoff must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+
+    def retry_schedule_ms(self) -> list:
+        """Cumulative delay before each retransmission attempt."""
+        delays = []
+        rto = self.rto_initial_ms
+        total = 0.0
+        for _ in range(self.max_retries):
+            total += rto
+            delays.append(total)
+            rto *= self.rto_backoff
+        return delays
+
+    def worst_case_delivery_extra_ms(self) -> float:
+        """Upper bound on retransmission-induced extra delay."""
+        schedule = self.retry_schedule_ms()
+        return schedule[-1] if schedule else 0.0

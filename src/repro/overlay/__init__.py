@@ -1,0 +1,43 @@
+"""SkipNet-style structured overlay network.
+
+FUSE's reference implementation runs on SkipNet (Harvey et al., USITS
+2003) and relies on exactly three overlay properties (§6.1 of the FUSE
+paper):
+
+1. messages routed through the overlay cause a **client upcall on every
+   intermediate hop**;
+2. the **routing table is visible** to the client layer;
+3. every overlay link is **liveness-checked from both sides** by periodic
+   pings, and clients may **piggyback content** on those pings.
+
+This package provides a SkipNet overlay with those properties: name-ID
+rings at multiple levels (base-8 numeric prefixes), an R-table plus leaf
+set per node, hop-by-hop name routing with upcalls, both-sides ping
+monitoring with piggyback payloads, join/leave, and failure repair.
+
+Simulation substitution (documented in DESIGN.md): ring pointer *contents*
+are derived from a shared membership registry rather than discovered by
+SkipNet's full decentralized search protocol; the join/leave/repair
+*message traffic* is still exchanged and counted, and all routing, pings,
+timeouts, and upcalls are genuine per-message protocol behaviour.  FUSE
+never reads the registry — it sees only the per-node overlay API.
+"""
+
+from repro.overlay.id_space import NameId, NumericId, name_distance_clockwise, numeric_id_for
+from repro.overlay.skipnet import (
+    OverlayConfig,
+    OverlayNode,
+    OverlayPayload,
+    SkipNetOverlay,
+)
+
+__all__ = [
+    "NameId",
+    "NumericId",
+    "OverlayConfig",
+    "OverlayNode",
+    "OverlayPayload",
+    "SkipNetOverlay",
+    "name_distance_clockwise",
+    "numeric_id_for",
+]

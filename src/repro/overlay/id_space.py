@@ -1,0 +1,76 @@
+"""SkipNet identifier spaces.
+
+SkipNet nodes have two identifiers:
+
+* a **name ID** (a string — DNS-style in the original system); the root
+  ring is sorted lexicographically by name, giving path locality;
+* a **numeric ID** — a uniformly random digit string; sharing a numeric
+  prefix of length *l* places nodes in the same level-*l* ring.
+
+We derive numeric IDs deterministically by hashing the name, exactly as
+SkipNet does for unmodified nodes, so a node's ring memberships are a pure
+function of its name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+NameId = str
+NumericId = Sequence[int]
+
+DEFAULT_BASE = 8
+DEFAULT_DIGITS = 16
+
+
+def numeric_id_for(name: NameId, base: int = DEFAULT_BASE, digits: int = DEFAULT_DIGITS) -> List[int]:
+    """Uniform digit string in [0, base) derived from ``name`` via SHA-1."""
+    if base < 2:
+        raise ValueError(f"base must be >= 2: {base}")
+    if digits < 1:
+        raise ValueError(f"digits must be >= 1: {digits}")
+    raw = hashlib.sha1(name.encode()).digest()
+    value = int.from_bytes(raw, "big")
+    out: List[int] = []
+    for _ in range(digits):
+        out.append(value % base)
+        value //= base
+    return out
+
+
+def shared_prefix_length(a: NumericId, b: NumericId) -> int:
+    """Number of leading digits the two numeric IDs share."""
+    n = 0
+    for da, db in zip(a, b):
+        if da != db:
+            break
+        n += 1
+    return n
+
+
+def name_distance_clockwise(src: NameId, dst: NameId, ring: Sequence[NameId]) -> int:
+    """Clockwise hop distance from src to dst around a sorted name ring.
+
+    Used by tests to assert that routing makes monotone progress.
+    """
+    ordered = sorted(ring)
+    if src not in ordered or dst not in ordered:
+        raise ValueError("src and dst must be ring members")
+    return (ordered.index(dst) - ordered.index(src)) % len(ordered)
+
+
+def clockwise_between(a: NameId, x: NameId, b: NameId) -> bool:
+    """True if ``x`` lies in the clockwise half-open interval (a, b].
+
+    The root ring is circular in lexicographic order; this predicate is
+    the routing primitive: forward to the neighbor that lands in
+    (current, destination] and is closest to the destination.
+    """
+    if a == b:
+        # Degenerate interval: only x == b (== a) qualifies.
+        return x == b
+    if a < b:
+        return a < x <= b
+    # Interval wraps around the top of the name space.
+    return x > a or x <= b

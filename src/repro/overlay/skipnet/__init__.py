@@ -1,0 +1,21 @@
+"""SkipNet overlay implementation.
+
+Module layout:
+
+* :mod:`repro.overlay.skipnet.config`   — tuning knobs (base, leaf set,
+  ping period/timeout — paper values: base 8, leaf set 16, 60 s / 20 s);
+* :mod:`repro.overlay.skipnet.messages` — wire messages;
+* :mod:`repro.overlay.skipnet.rings`    — multi-level ring membership and
+  R-table computation;
+* :mod:`repro.overlay.skipnet.node`     — per-node protocol state machine
+  (routing, pings, upcalls, piggybacking, failure detection);
+* :mod:`repro.overlay.skipnet.overlay`  — the deployment coordinator
+  (membership registry, join/leave/crash bookkeeping).
+"""
+
+from repro.overlay.skipnet.config import OverlayConfig
+from repro.overlay.skipnet.messages import OverlayPayload
+from repro.overlay.skipnet.node import OverlayNode
+from repro.overlay.skipnet.overlay import SkipNetOverlay
+
+__all__ = ["OverlayConfig", "OverlayNode", "OverlayPayload", "SkipNetOverlay"]

@@ -1,0 +1,50 @@
+"""Overlay configuration.
+
+Defaults are the paper's §7.1 settings: a 60 second ping period, a 20
+second ping timeout, numeric-ID base 8, and a leaf set of size 16 (eight
+neighbors on each side of the root ring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OverlayConfig:
+    base: int = 8
+    """Numeric-ID digit base; level-l rings share l leading digits."""
+
+    numeric_digits: int = 16
+    """Length of the numeric ID digit string."""
+
+    leaf_set_half: int = 8
+    """Root-ring neighbors kept on *each* side (paper: leaf set of 16)."""
+
+    ping_period_ms: float = 60_000.0
+    """Interval between liveness pings to each distinct neighbor."""
+
+    ping_timeout_ms: float = 20_000.0
+    """Time to wait for a ping ack before suspecting the neighbor."""
+
+    max_route_hops: int = 64
+    """Safety bound on overlay routing path length (drops runaways)."""
+
+    repair_fanout: int = 2
+    """Nodes contacted when repairing the routing table after a failure
+    (models the overlay's own repair traffic, visible in Fig 10)."""
+
+    def __post_init__(self) -> None:
+        if self.base < 2:
+            raise ValueError("base must be >= 2")
+        if self.leaf_set_half < 1:
+            raise ValueError("leaf_set_half must be >= 1")
+        if self.ping_timeout_ms >= self.ping_period_ms:
+            raise ValueError("ping timeout must be shorter than the ping period")
+
+    @property
+    def liveness_silence_ms(self) -> float:
+        """How long a link can be silent before the *FUSE layer* should
+        consider its checking stale: one full ping period plus the ping
+        timeout (the paper's 20-80 s uniform detection window)."""
+        return self.ping_period_ms + self.ping_timeout_ms

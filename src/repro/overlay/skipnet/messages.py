@@ -1,0 +1,104 @@
+"""Overlay wire messages."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.net.address import NodeId
+from repro.net.message import Message
+
+OverlayPayload = Dict[str, Any]
+"""Opaque client content piggybacked on overlay traffic.  Keys identify
+the client layer (FUSE uses ``"fuse"``); values are client-defined."""
+
+
+class OverlayPing(Message):
+    """Routing-table liveness probe, sent to each distinct neighbor every
+    ping period.  Carries piggybacked client payloads (FUSE's 20-byte
+    hash rides here), so its nominal size is ping + hash."""
+
+    size_bytes = 64 + 20
+
+    def __init__(self, nonce: int, payload: Optional[OverlayPayload] = None) -> None:
+        self.nonce = nonce
+        self.payload = payload or {}
+
+
+class OverlayPingAck(Message):
+    """Acknowledges a ping; also carries the responder's piggyback."""
+
+    size_bytes = 64 + 20
+
+    def __init__(self, nonce: int, payload: Optional[OverlayPayload] = None) -> None:
+        self.nonce = nonce
+        self.payload = payload or {}
+
+
+class RouteEnvelope(Message):
+    """A client message being routed by name through the overlay.
+
+    Every intermediate node sees the envelope (client upcall) before
+    forwarding — the property FUSE's InstallChecking relies on.
+    """
+
+    size_bytes = 128
+
+    def __init__(
+        self,
+        dest_name: str,
+        payload: Message,
+        origin: NodeId,
+        hop_count: int = 0,
+    ) -> None:
+        self.dest_name = dest_name
+        self.payload = payload
+        self.origin = origin
+        self.hop_count = hop_count
+        self.size_bytes = 128 + payload.size_bytes
+
+
+class NeighborUpdate(Message):
+    """Sent by a joining node to the nodes that must add it to their
+    routing tables."""
+
+    size_bytes = 128
+
+    def __init__(self, joiner_name: str) -> None:
+        self.joiner_name = joiner_name
+
+
+class LeaveNotice(Message):
+    """Graceful departure announcement to current neighbors."""
+
+    size_bytes = 64
+
+    def __init__(self, leaver_name: str) -> None:
+        self.leaver_name = leaver_name
+
+
+class JoinProbe(Message):
+    """Payload routed toward the joining node's own name to locate its
+    root-ring insertion point."""
+
+    size_bytes = 64
+
+    def __init__(self, joiner: NodeId, joiner_name: str) -> None:
+        self.joiner = joiner
+        self.joiner_name = joiner_name
+
+
+class JoinReply(Message):
+    """Direct response from the insertion-point node to the joiner."""
+
+    size_bytes = 256
+
+
+class RepairExchange(Message):
+    """Routing-table repair chatter after a neighbor failure.  The paper
+    attributes a 13 % message-load increase under churn to this class of
+    traffic; we model it as a fixed-fanout exchange per detected failure."""
+
+    size_bytes = 192
+
+    def __init__(self, failed_name: str) -> None:
+        self.failed_name = failed_name

@@ -1,0 +1,35 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the substrate on which every other subsystem in the
+FUSE reproduction runs: a virtual clock, an event queue with cancellable
+timers, seeded random-number streams, and metrics collection (counters,
+histograms, CDF series).
+
+The paper evaluated FUSE both on a ModelNet cluster and on a discrete event
+simulator sharing the same code base; this package is our equivalent of
+their simulator half.  All time values are floats in **milliseconds** of
+virtual time.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue, TimerHandle
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import CdfSeries, Counter, Histogram, MetricsRegistry, percentile
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "CdfSeries",
+    "Clock",
+    "Counter",
+    "Event",
+    "EventQueue",
+    "Histogram",
+    "MetricsRegistry",
+    "RngStreams",
+    "Simulator",
+    "TimerHandle",
+    "TraceLog",
+    "TraceRecord",
+    "percentile",
+]

@@ -1,0 +1,42 @@
+"""Virtual clock for the simulation kernel.
+
+The clock only moves forward, and only when the kernel dispatches events.
+Keeping it as its own small object (rather than a bare float on the
+simulator) lets components hold a reference to the clock without holding a
+reference to the whole kernel.
+"""
+
+
+class Clock:
+    """Monotonic virtual clock measured in milliseconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises ``ValueError`` on any attempt to move backwards; the kernel
+        relies on this to catch event-ordering bugs early.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now} requested={when}"
+            )
+        self._now = when
+
+    def seconds(self) -> float:
+        """Current virtual time expressed in seconds."""
+        return self._now / 1000.0
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.3f}ms)"

@@ -1,0 +1,126 @@
+"""Event queue with cancellable timers.
+
+The queue is a binary heap ordered by ``(time, sequence)``.  The sequence
+number makes dispatch order deterministic for events scheduled at the same
+virtual time: ties are broken by insertion order.  Cancellation is lazy —
+a cancelled event stays in the heap but is skipped at pop time — which is
+the standard approach for heap-backed schedulers (see the CPython
+``sched``/``asyncio`` implementations).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        when: virtual time (ms) at which the callback fires.
+        seq: insertion sequence number used for deterministic tie-breaking.
+        callback: zero-argument callable invoked at dispatch.
+        label: optional human-readable tag used in traces and repr.
+    """
+
+    __slots__ = ("when", "seq", "callback", "label", "_cancelled")
+
+    def __init__(self, when: float, seq: int, callback: Callable[[], Any], label: str = "") -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it; idempotent."""
+        self._cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "pending"
+        return f"Event(when={self.when:.3f}, label={self.label!r}, {state})"
+
+
+class TimerHandle:
+    """Opaque handle returned by the kernel for a scheduled timer.
+
+    Components keep the handle to cancel or reschedule the timer.  The
+    handle stays valid (but inert) after the timer fires or is cancelled.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def when(self) -> float:
+        return self._event.when
+
+    @property
+    def active(self) -> bool:
+        """True while the timer has neither fired nor been cancelled."""
+        return not self._event.cancelled and self._event.callback is not None
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+    def __repr__(self) -> str:
+        return f"TimerHandle({self._event!r})"
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, when: float, callback: Callable[[], Any], label: str = "") -> Event:
+        event = Event(when, next(self._seq), callback, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next non-cancelled event, or None if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].when
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event, or None."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._live -= 1
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+    def snapshot(self) -> Tuple[Event, ...]:
+        """Pending events in dispatch order; intended for tests and debugging."""
+        return tuple(sorted(e for e in self._heap if not e.cancelled))

@@ -1,0 +1,236 @@
+"""Metrics primitives used by the experiment harness.
+
+The paper reports three kinds of results and this module supports each:
+
+* message-per-second style rates over a time window (Fig 10, §7.5) —
+  :class:`Counter` with :meth:`Counter.rate_per_second`;
+* percentile bars over latency samples (Figs 7 and 8) —
+  :class:`Histogram` and :func:`percentile`;
+* cumulative distribution functions (Figs 6, 9, 11) — :class:`CdfSeries`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.clock import Clock
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (pct in [0, 100]).
+
+    Matches ``numpy.percentile``'s default "linear" method so results can
+    be cross-checked, but avoids requiring numpy in the core library.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile out of range: {pct}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    # low + frac*(high-low) rather than a convex combination: exact when
+    # the two neighbors are equal, so percentile stays monotone in pct.
+    return ordered[low] + frac * (ordered[high] - ordered[low])
+
+
+class Counter:
+    """Monotonic event counter that remembers when counting started."""
+
+    __slots__ = ("name", "value", "_clock", "_started_at")
+
+    def __init__(self, name: str, clock: Optional[Clock] = None) -> None:
+        self.name = name
+        self.value = 0
+        self._clock = clock
+        self._started_at = clock.now if clock is not None else 0.0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative: {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter and restart its rate window at the current time."""
+        self.value = 0
+        if self._clock is not None:
+            self._started_at = self._clock.now
+
+    def rate_per_second(self, window_ms: Optional[float] = None) -> float:
+        """Events per second of virtual time since the last reset.
+
+        Args:
+            window_ms: explicit window length; defaults to time since reset.
+        """
+        if window_ms is None:
+            if self._clock is None:
+                raise ValueError("counter has no clock; pass window_ms explicitly")
+            window_ms = self._clock.now - self._started_at
+        if window_ms <= 0:
+            return 0.0
+        return self.value / (window_ms / 1000.0)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Collects latency samples and reports percentile statistics."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        self.samples.extend(values)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return sum(self.samples) / len(self.samples)
+
+    def min(self) -> float:
+        return min(self.samples)
+
+    def max(self) -> float:
+        return max(self.samples)
+
+    def pct(self, p: float) -> float:
+        return percentile(self.samples, p)
+
+    def summary(self) -> Dict[str, float]:
+        """The quartile summary used by the Fig 7 / Fig 8 style bar charts."""
+        return {
+            "count": float(len(self.samples)),
+            "min": self.min(),
+            "p25": self.pct(25),
+            "p50": self.pct(50),
+            "p75": self.pct(75),
+            "max": self.max(),
+            "mean": self.mean(),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={len(self.samples)})"
+
+
+class CdfSeries:
+    """An empirical CDF over a set of samples.
+
+    ``points()`` returns (value, cumulative_fraction) pairs suitable for
+    printing the paper's CDF figures as text series.
+    """
+
+    __slots__ = ("name", "_samples", "_sorted")
+
+    def __init__(self, name: str, samples: Optional[Iterable[float]] = None) -> None:
+        self.name = name
+        self._samples: List[float] = list(samples) if samples is not None else []
+        self._sorted = False
+
+    def add(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> List[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def fraction_at_or_below(self, value: float) -> float:
+        """Empirical P(X <= value)."""
+        ordered = self._ensure_sorted()
+        if not ordered:
+            raise ValueError(f"cdf {self.name!r} is empty")
+        return bisect.bisect_right(ordered, value) / len(ordered)
+
+    def value_at_fraction(self, fraction: float) -> float:
+        """Inverse CDF: the smallest sample with at least ``fraction`` mass."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction out of (0, 1]: {fraction}")
+        ordered = self._ensure_sorted()
+        if not ordered:
+            raise ValueError(f"cdf {self.name!r} is empty")
+        index = max(0, math.ceil(fraction * len(ordered)) - 1)
+        return ordered[index]
+
+    def median(self) -> float:
+        return self.value_at_fraction(0.5)
+
+    def points(self, max_points: int = 100) -> List[Tuple[float, float]]:
+        """Downsampled (value, fraction) pairs for plotting/printing."""
+        ordered = self._ensure_sorted()
+        if not ordered:
+            return []
+        n = len(ordered)
+        step = max(1, n // max_points)
+        pts = [(ordered[i], (i + 1) / n) for i in range(0, n, step)]
+        if pts[-1][1] != 1.0:
+            pts.append((ordered[-1], 1.0))
+        return pts
+
+    def __repr__(self) -> str:
+        return f"CdfSeries({self.name}, n={len(self._samples)})"
+
+
+class MetricsRegistry:
+    """Creates and caches named metrics for a simulation run."""
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._cdfs: Dict[str, CdfSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name, self._clock)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def cdf(self, name: str) -> CdfSeries:
+        if name not in self._cdfs:
+            self._cdfs[name] = CdfSeries(name)
+        return self._cdfs[name]
+
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    def reset_counters(self) -> None:
+        """Reset every counter; used to start a measurement window."""
+        for counter in self._counters.values():
+            counter.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)}, cdfs={len(self._cdfs)})"
+        )

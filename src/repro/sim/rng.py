@@ -1,0 +1,44 @@
+"""Named, independently seeded random streams.
+
+Every consumer of randomness (topology generation, link loss, churn
+schedule, workload placement, ...) draws from its own named stream so that
+changing how one subsystem consumes randomness does not perturb any other
+subsystem.  This is the standard variance-reduction discipline for
+simulation studies: experiments stay comparable across code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngStreams:
+    """A family of :class:`random.Random` instances derived from one seed.
+
+    Stream seeds are derived by hashing ``(master_seed, name)`` so streams
+    are stable regardless of the order in which they are first requested.
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()
+        stream = random.Random(int.from_bytes(digest[:8], "big"))
+        self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RngStreams":
+        """Derive a child family, e.g. one per node, from this family."""
+        digest = hashlib.sha256(f"{self.master_seed}:fork:{name}".encode()).digest()
+        return RngStreams(int.from_bytes(digest[:8], "big"))
+
+    def __repr__(self) -> str:
+        return f"RngStreams(master_seed={self.master_seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,66 @@
+"""Structured trace log for debugging protocol runs.
+
+Tracing is off by default (it costs memory proportional to event count) and
+is switched on per-simulation via ``Simulator(trace=True)`` or by attaching
+a :class:`TraceLog` to a component directly.  Tests use traces to assert on
+message orderings without reaching into protocol internals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.sim.clock import Clock
+
+
+class TraceRecord:
+    """One trace entry: (time, category, message, fields)."""
+
+    __slots__ = ("time", "category", "message", "fields")
+
+    def __init__(self, time: float, category: str, message: str, fields: Dict[str, Any]) -> None:
+        self.time = time
+        self.category = category
+        self.message = message
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        extra = f" {self.fields}" if self.fields else ""
+        return f"[{self.time:10.1f}ms] {self.category}: {self.message}{extra}"
+
+
+class TraceLog:
+    """Append-only list of :class:`TraceRecord` with simple filtering."""
+
+    def __init__(self, clock: Clock, capacity: Optional[int] = None) -> None:
+        self._clock = clock
+        self._records: List[TraceRecord] = []
+        self._capacity = capacity
+
+    def record(self, category: str, message: str, **fields: Any) -> None:
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            # Drop oldest half when full; traces are a debugging aid, not
+            # an audit log, so bounded memory wins over completeness.
+            del self._records[: len(self._records) // 2]
+        self._records.append(TraceRecord(self._clock.now, category, message, fields))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(self, category: Optional[str] = None, contains: Optional[str] = None) -> List[TraceRecord]:
+        out = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if contains is not None and contains not in rec.message:
+                continue
+            out.append(rec)
+        return out
+
+    def dump(self, limit: int = 50) -> str:
+        """Human-readable tail of the trace."""
+        tail = self._records[-limit:]
+        return "\n".join(repr(rec) for rec in tail)

@@ -1,0 +1,156 @@
+"""FuseWorld: one-call assembly of a complete simulated deployment.
+
+Everything the paper's testbed provides — a wide-area topology, a TCP-ish
+messaging layer, a SkipNet overlay with N virtual nodes, and a FUSE
+service on each — wired together and bootstrapped.  Tests, examples, and
+the experiment harness all start from here::
+
+    world = FuseWorld(n_nodes=400, seed=1)
+    world.bootstrap()                      # all nodes join the overlay
+    fid = world.create_group_sync(0, [5, 9, 13])
+    world.net.disconnect_host(9)
+    world.run_for_minutes(5)
+    assert world.fuse(0).notifications[fid]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fuse.config import FuseConfig
+from repro.fuse.ids import FuseId
+from repro.fuse.service import FuseService
+from repro.net.address import NodeId
+from repro.net.mercator import MercatorConfig, build_mercator_topology
+from repro.net.network import Network
+from repro.net.node import Host
+from repro.net.transport import TransportConfig
+from repro.overlay.skipnet.config import OverlayConfig
+from repro.overlay.skipnet.node import OverlayNode
+from repro.overlay.skipnet.overlay import SkipNetOverlay
+from repro.sim.kernel import Simulator
+
+MINUTE_MS = 60_000.0
+
+
+class FuseWorld:
+    """A fully wired simulated FUSE deployment."""
+
+    def __init__(
+        self,
+        n_nodes: int = 400,
+        seed: int = 0,
+        mercator: Optional[MercatorConfig] = None,
+        overlay_config: Optional[OverlayConfig] = None,
+        fuse_config: Optional[FuseConfig] = None,
+        transport: Optional[TransportConfig] = None,
+        trace: bool = False,
+    ) -> None:
+        self.sim = Simulator(seed=seed, trace=trace)
+        self.mercator = mercator or MercatorConfig.scaled_for_hosts(n_nodes)
+        if self.mercator.n_hosts < n_nodes:
+            raise ValueError("mercator config has fewer hosts than requested nodes")
+        topo, host_ids = build_mercator_topology(self.mercator, self.sim.rng.stream("topology"))
+        self.topology = topo
+        self.net = Network(self.sim, topo, config=transport)
+        self.overlay = SkipNetOverlay(self.sim, self.net, overlay_config)
+        self.fuse_config = fuse_config or FuseConfig()
+
+        self.node_ids: List[NodeId] = host_ids[:n_nodes]
+        self.hosts: Dict[NodeId, Host] = {}
+        self.overlay_nodes: Dict[NodeId, OverlayNode] = {}
+        self.fuse_services: Dict[NodeId, FuseService] = {}
+        for node_id in self.node_ids:
+            host = Host(self.net, node_id, name=f"node-{node_id:05d}")
+            overlay_node = self.overlay.create_node(host)
+            self.hosts[node_id] = host
+            self.overlay_nodes[node_id] = overlay_node
+            self.fuse_services[node_id] = FuseService(overlay_node, self.fuse_config)
+
+    # ------------------------------------------------------------------
+    # Bootstrap and clock control
+    # ------------------------------------------------------------------
+    def bootstrap(self, join_spacing_ms: float = 200.0, settle_ms: float = 5_000.0) -> None:
+        """Join every node into the overlay, staggered, then settle."""
+        for index, node_id in enumerate(self.node_ids):
+            node = self.overlay_nodes[node_id]
+            self.sim.call_at(index * join_spacing_ms, node.join)
+        self.sim.run(until=len(self.node_ids) * join_spacing_ms + settle_ms)
+
+    def run_for(self, duration_ms: float) -> None:
+        self.sim.run_for(duration_ms)
+
+    def run_for_minutes(self, minutes: float) -> None:
+        self.sim.run_for(minutes * MINUTE_MS)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def fuse(self, node_id: NodeId) -> FuseService:
+        return self.fuse_services[node_id]
+
+    def host(self, node_id: NodeId) -> Host:
+        return self.hosts[node_id]
+
+    def overlay_node(self, node_id: NodeId) -> OverlayNode:
+        return self.overlay_nodes[node_id]
+
+    def alive_node_ids(self) -> List[NodeId]:
+        return [nid for nid in self.node_ids if self.hosts[nid].alive]
+
+    # ------------------------------------------------------------------
+    # Synchronous conveniences (drive the simulator until a callback)
+    # ------------------------------------------------------------------
+    def create_group_sync(
+        self,
+        root: NodeId,
+        members: Sequence[NodeId],
+        max_wait_ms: float = 120_000.0,
+    ) -> Tuple[Optional[FuseId], str, float]:
+        """Create a group and run the simulator until creation completes.
+
+        Returns (fuse_id or None, status string, creation latency in ms).
+        """
+        outcome: Dict[str, object] = {}
+        started = self.sim.now
+
+        def on_complete(fuse_id: Optional[FuseId], status: str) -> None:
+            outcome["fuse_id"] = fuse_id
+            outcome["status"] = status
+            outcome["latency"] = self.sim.now - started
+
+        self.fuse(root).create_group(members, on_complete)
+        deadline = started + max_wait_ms
+        while "status" not in outcome and self.sim.now < deadline:
+            if not self.sim.step():
+                break
+        if "status" not in outcome:
+            return None, "no-completion", self.sim.now - started
+        return (
+            outcome.get("fuse_id"),  # type: ignore[return-value]
+            str(outcome["status"]),
+            float(outcome["latency"]),  # type: ignore[arg-type]
+        )
+
+    def crash(self, node_id: NodeId) -> None:
+        self.net.crash_host(node_id)
+
+    def disconnect(self, node_id: NodeId) -> None:
+        self.net.disconnect_host(node_id)
+
+    def restart(self, node_id: NodeId) -> None:
+        """Recover a crashed node and rejoin it into the overlay."""
+        self.net.recover_host(node_id)
+        node = self.overlay_nodes[node_id]
+        if not node.joined:
+            node.join()
+
+    def __repr__(self) -> str:
+        return (
+            f"FuseWorld(nodes={len(self.node_ids)}, t={self.sim.now / 1000.0:.1f}s, "
+            f"members={self.overlay.member_count})"
+        )

@@ -1,0 +1,142 @@
+"""Tests for the three-call FUSE API surface (paper Fig 1, §3.1-§3.2)."""
+
+from repro.fuse.ids import make_fuse_id
+
+
+class TestCreateGroup:
+    def test_create_returns_ok_and_id(self, tiny_world):
+        fid, status, latency = tiny_world.create_group_sync(0, [1, 2, 3])
+        assert status == "ok"
+        assert fid is not None
+        assert latency > 0.0
+
+    def test_blocking_create_means_all_members_have_state(self, tiny_world):
+        """§3.2: if creation returns successfully, all members were alive
+        and reachable — and hold installed member state."""
+        fid, status, _ = tiny_world.create_group_sync(0, [1, 2, 3])
+        assert status == "ok"
+        for member in (0, 1, 2, 3):
+            assert fid in tiny_world.fuse(member).groups
+
+    def test_fuse_ids_unique(self, tiny_world):
+        ids = set()
+        for _ in range(5):
+            fid, status, _ = tiny_world.create_group_sync(0, [1, 2])
+            assert status == "ok"
+            ids.add(fid)
+        assert len(ids) == 5
+
+    def test_multiple_groups_same_nodes_independent(self, tiny_world):
+        """§1: groups spanning the same node set fail independently."""
+        fid_a, _, _ = tiny_world.create_group_sync(0, [1, 2])
+        fid_b, _, _ = tiny_world.create_group_sync(0, [1, 2])
+        tiny_world.fuse(1).signal_failure(fid_a)
+        tiny_world.run_for_minutes(1)
+        assert fid_a in tiny_world.fuse(2).notifications
+        assert fid_b not in tiny_world.fuse(2).notifications
+        assert fid_b in tiny_world.fuse(2).groups
+
+    def test_group_of_root_only(self, tiny_world):
+        fid, status, _ = tiny_world.create_group_sync(0, [])
+        assert status == "ok"
+        tiny_world.fuse(0).signal_failure(fid)
+        tiny_world.run_for(1_000)
+        assert fid in tiny_world.fuse(0).notifications
+
+    def test_duplicate_members_deduplicated(self, tiny_world):
+        fid, status, _ = tiny_world.create_group_sync(0, [1, 1, 2, 2])
+        assert status == "ok"
+        assert sorted(tiny_world.fuse(0).groups[fid].member_ids) == [1, 2]
+
+    def test_root_in_member_list_ignored(self, tiny_world):
+        fid, status, _ = tiny_world.create_group_sync(0, [0, 1])
+        assert status == "ok"
+        assert tiny_world.fuse(0).groups[fid].member_ids == [1]
+
+
+class TestRegisterFailureHandler:
+    def test_handler_fires_on_failure(self, tiny_world):
+        fid, _, _ = tiny_world.create_group_sync(0, [1, 2])
+        fired = []
+        tiny_world.fuse(2).register_failure_handler(fid, fired.append)
+        tiny_world.fuse(1).signal_failure(fid)
+        tiny_world.run_for_minutes(1)
+        assert fired == [fid]
+
+    def test_unknown_id_invokes_immediately(self, tiny_world):
+        """§3.2: registering against an already-signalled (or never-known)
+        ID invokes the callback right away."""
+        fired = []
+        tiny_world.fuse(3).register_failure_handler("fuse-nonexistent", fired.append)
+        tiny_world.run_for(100)
+        assert fired == ["fuse-nonexistent"]
+
+    def test_register_after_signal_invokes_immediately(self, tiny_world):
+        fid, _, _ = tiny_world.create_group_sync(0, [1, 2])
+        tiny_world.fuse(1).signal_failure(fid)
+        tiny_world.run_for_minutes(1)
+        fired = []
+        tiny_world.fuse(2).register_failure_handler(fid, fired.append)
+        tiny_world.run_for(100)
+        assert fired == [fid]
+
+    def test_handler_fires_exactly_once(self, tiny_world):
+        fid, _, _ = tiny_world.create_group_sync(0, [1, 2])
+        count = {m: 0 for m in (0, 1, 2)}
+
+        def make_handler(m):
+            def handler(_fid):
+                count[m] += 1
+
+            return handler
+
+        for m in (0, 1, 2):
+            tiny_world.fuse(m).register_failure_handler(fid, make_handler(m))
+        tiny_world.fuse(1).signal_failure(fid)
+        tiny_world.fuse(2).signal_failure(fid)  # concurrent double signal
+        tiny_world.run_for_minutes(2)
+        assert all(c == 1 for c in count.values()), count
+
+
+class TestSignalFailure:
+    def test_all_members_notified(self, tiny_world):
+        fid, _, _ = tiny_world.create_group_sync(0, [1, 2, 3])
+        tiny_world.fuse(3).signal_failure(fid)
+        tiny_world.run_for_minutes(1)
+        for m in (0, 1, 2, 3):
+            assert fid in tiny_world.fuse(m).notifications
+
+    def test_signal_unknown_id_is_noop(self, tiny_world):
+        tiny_world.fuse(0).signal_failure("fuse-nonexistent")
+        tiny_world.run_for(100)  # must not raise or notify anyone
+
+    def test_signal_by_root(self, tiny_world):
+        fid, _, _ = tiny_world.create_group_sync(0, [1, 2])
+        tiny_world.fuse(0).signal_failure(fid)
+        tiny_world.run_for_minutes(1)
+        for m in (0, 1, 2):
+            assert fid in tiny_world.fuse(m).notifications
+
+    def test_repeated_signal_idempotent(self, tiny_world):
+        fid, _, _ = tiny_world.create_group_sync(0, [1])
+        tiny_world.fuse(1).signal_failure(fid)
+        tiny_world.run_for_minutes(1)
+        tiny_world.fuse(1).signal_failure(fid)
+        tiny_world.run_for_minutes(1)
+        assert fid in tiny_world.fuse(0).notifications
+
+    def test_no_state_remains_after_notification(self, tiny_world):
+        fid, _, _ = tiny_world.create_group_sync(0, [1, 2, 3])
+        tiny_world.fuse(1).signal_failure(fid)
+        tiny_world.run_for_minutes(3)
+        for node_id in tiny_world.node_ids:
+            assert fid not in tiny_world.fuse(node_id).groups
+
+
+class TestFuseIds:
+    def test_make_fuse_id_unique(self):
+        ids = {make_fuse_id("root") for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_id_embeds_root_name(self):
+        assert "rootname" in make_fuse_id("rootname")

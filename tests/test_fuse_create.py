@@ -1,0 +1,119 @@
+"""Tests for group creation: success path, failure path, no orphans (§6.2)."""
+
+from repro import FuseConfig, FuseWorld
+from repro.net import MercatorConfig
+
+
+class TestCreateSuccess:
+    def test_creation_latency_is_rpc_scale(self, small_world):
+        """§7.3: creation latency is an RPC to the furthest member, not a
+        multiple of the liveness timeout."""
+        _, status, latency = small_world.create_group_sync(0, [5, 10, 15])
+        assert status == "ok"
+        assert latency < 5_000.0
+
+    def test_larger_groups_take_longer(self, small_world):
+        """Fig 7's shape: more members -> higher chance of a slow path."""
+        lat_small = []
+        lat_large = []
+        for seed_offset in range(6):
+            root = (seed_offset * 3) % 30
+            members_small = [(root + 1) % 30, (root + 2) % 30]
+            members_large = [(root + k) % 30 for k in range(1, 13)]
+            _, s1, l1 = small_world.create_group_sync(root, members_small)
+            _, s2, l2 = small_world.create_group_sync(root, members_large)
+            assert s1 == s2 == "ok"
+            lat_small.append(l1)
+            lat_large.append(l2)
+        assert sum(lat_large) >= sum(lat_small)
+
+    def test_install_checking_installs_delegate_state(self, small_world):
+        fid, status, _ = small_world.create_group_sync(0, [17])
+        assert status == "ok"
+        small_world.run_for(5_000)
+        path = small_world.overlay.overlay_route(
+            small_world.overlay_node(17).name, small_world.overlay_node(0).name
+        )
+        if len(path) > 2:  # there are true delegates on this route
+            delegate_names = path[1:-1]
+            holders = [
+                nid
+                for nid in small_world.node_ids
+                if fid in small_world.fuse(nid).groups
+                and small_world.overlay_node(nid).name in delegate_names
+            ]
+            assert holders, "delegates on the route should hold checking state"
+
+    def test_root_tracks_installs_complete(self, small_world):
+        fid, status, _ = small_world.create_group_sync(0, [5, 10])
+        assert status == "ok"
+        small_world.run_for(10_000)
+        state = small_world.fuse(0).groups[fid]
+        assert not state.pending_installs
+
+
+class TestCreateFailure:
+    def test_unreachable_member_fails_creation(self, small_world):
+        small_world.disconnect(9)
+        fid, status, _ = small_world.create_group_sync(0, [5, 9], max_wait_ms=300_000)
+        assert status != "ok"
+        assert fid is None
+
+    def test_failed_create_notifies_contacted_members(self, small_world):
+        """§6.2: members that installed state for a failed creation hear a
+        HardNotification — state is never orphaned."""
+        small_world.disconnect(9)
+        small_world.create_group_sync(0, [5, 9], max_wait_ms=300_000)
+        small_world.run_for_minutes(3)
+        assert not [
+            fid
+            for fid, st in small_world.fuse(5).groups.items()
+            if st.root_id == 0
+        ]
+
+    def test_crashed_member_fails_creation(self, small_world):
+        small_world.crash(9)
+        fid, status, _ = small_world.create_group_sync(0, [5, 9], max_wait_ms=300_000)
+        assert status != "ok"
+
+    def test_create_failure_counted(self, small_world):
+        small_world.disconnect(9)
+        small_world.create_group_sync(0, [9], max_wait_ms=300_000)
+        assert small_world.sim.metrics.counter("fuse.create_failures").value == 1
+
+    def test_creation_failure_leaves_no_state_anywhere(self, small_world):
+        small_world.disconnect(9)
+        fid_attempt = small_world.fuse(0).create_group([5, 9], lambda *a: None)
+        small_world.run_for_minutes(5)
+        for nid in small_world.node_ids:
+            assert fid_attempt not in small_world.fuse(nid).groups
+
+
+class TestNonBlockingCreateAblation:
+    def test_nonblocking_returns_immediately(self):
+        world = FuseWorld(
+            n_nodes=12,
+            seed=3,
+            mercator=MercatorConfig(n_hosts=12, n_as=4),
+            fuse_config=FuseConfig(blocking_create=False),
+        )
+        world.bootstrap()
+        fid, status, latency = world.create_group_sync(0, [4, 8])
+        assert status == "ok"
+        assert latency < 50.0  # no round trips awaited
+
+    def test_nonblocking_with_dead_member_still_notifies(self):
+        """Without blocking create the app may act on a group that can
+        never form; FUSE must still deliver failure notifications."""
+        world = FuseWorld(
+            n_nodes=12,
+            seed=3,
+            mercator=MercatorConfig(n_hosts=12, n_as=4),
+            fuse_config=FuseConfig(blocking_create=False),
+        )
+        world.bootstrap()
+        world.disconnect(8)
+        fid, status, _ = world.create_group_sync(0, [4, 8])
+        assert status == "ok"
+        world.run_for_minutes(5)
+        assert fid in world.fuse(4).notifications or fid not in world.fuse(4).groups

@@ -1,0 +1,161 @@
+"""Failure-driven notification tests: crashes, disconnects, partitions,
+intransitive failures (§3.3-§3.5, Fig 9's scenario)."""
+
+import pytest
+
+from repro import FuseWorld
+from repro.net import MercatorConfig
+
+
+def minutes(ms: float) -> float:
+    return ms / 60_000.0
+
+
+class TestMemberCrash:
+    def test_all_live_members_notified_on_disconnect(self, small_world):
+        fid, status, _ = small_world.create_group_sync(0, [5, 9, 13])
+        assert status == "ok"
+        small_world.disconnect(9)
+        small_world.run_for_minutes(8)
+        for m in (0, 5, 13):
+            assert fid in small_world.fuse(m).notifications
+        # The disconnected node hears it from its own side too (§3.3).
+        assert fid in small_world.fuse(9).notifications
+
+    def test_notification_within_bounded_time(self, small_world):
+        """Fig 9: ping timeout + repair timeout dominate; everything lands
+        within a few minutes."""
+        fid, _, _ = small_world.create_group_sync(0, [5, 9, 13])
+        times = {}
+        for m in (0, 5, 13):
+            small_world.fuse(m).observe_notifications(
+                lambda f, reason, m=m: times.setdefault(m, small_world.now)
+            )
+        t0 = small_world.now
+        small_world.disconnect(9)
+        small_world.run_for_minutes(10)
+        assert set(times) == {0, 5, 13}
+        for m, t in times.items():
+            assert minutes(t - t0) < 6.0, f"member {m} took too long"
+
+    def test_crash_of_process_also_detected(self, small_world):
+        fid, _, _ = small_world.create_group_sync(0, [5, 9])
+        small_world.crash(9)
+        small_world.run_for_minutes(8)
+        assert fid in small_world.fuse(0).notifications
+        assert fid in small_world.fuse(5).notifications
+
+    def test_root_crash_detected_by_members(self, small_world):
+        fid, _, _ = small_world.create_group_sync(0, [5, 9, 13])
+        small_world.crash(0)
+        small_world.run_for_minutes(8)
+        for m in (5, 9, 13):
+            assert fid in small_world.fuse(m).notifications
+
+    def test_unrelated_groups_survive_member_crash(self, small_world):
+        fid_a, _, _ = small_world.create_group_sync(0, [5, 9])
+        fid_b, _, _ = small_world.create_group_sync(2, [6, 14])
+        small_world.disconnect(9)
+        small_world.run_for_minutes(8)
+        assert fid_a in small_world.fuse(0).notifications
+        assert fid_b in small_world.fuse(2).groups  # unaffected group lives
+
+
+class TestPartition:
+    def test_both_sides_notified(self):
+        world = FuseWorld(n_nodes=20, seed=13, mercator=MercatorConfig(n_hosts=20, n_as=6))
+        world.bootstrap()
+        fid, status, _ = world.create_group_sync(0, [5, 10, 15])
+        assert status == "ok"
+        side_a = [n for n in world.node_ids if n < 10]
+        side_b = [n for n in world.node_ids if n >= 10]
+        world.net.faults.partition([side_a, side_b])
+        world.run_for_minutes(10)
+        for m in (0, 5, 10, 15):
+            assert fid in world.fuse(m).notifications, f"member {m} missed notification"
+
+
+class TestIntransitiveConnectivity:
+    def test_application_signal_reaches_everyone(self, small_world):
+        """§3.4 fail-on-send: A and B cannot talk directly; FUSE may not
+        notice, but when A signals, every live member hears."""
+        fid, status, _ = small_world.create_group_sync(0, [5, 9])
+        assert status == "ok"
+        small_world.net.faults.block_pair(5, 9)
+        small_world.run_for_minutes(2)
+        # FUSE itself may see nothing wrong (the pair may share no overlay
+        # link); the application notices on send and signals.
+        small_world.fuse(5).signal_failure(fid)
+        small_world.run_for_minutes(3)
+        for m in (0, 5, 9):
+            assert fid in small_world.fuse(m).notifications
+
+
+class TestDelegateFailures:
+    def test_delegate_crash_is_not_a_false_positive(self):
+        """§7.6: delegate failures trigger repair, never notification."""
+        world = FuseWorld(n_nodes=30, seed=21, mercator=MercatorConfig(n_hosts=30, n_as=10))
+        world.bootstrap()
+        # Find a group whose member-root overlay route has a delegate.
+        fid = None
+        delegate = None
+        for member in world.node_ids[1:]:
+            path = world.overlay.overlay_route(
+                world.overlay_node(member).name, world.overlay_node(0).name
+            )
+            if len(path) > 2:
+                fid, status, _ = world.create_group_sync(0, [member])
+                assert status == "ok"
+                delegate_name = path[1]
+                delegate = next(
+                    nid
+                    for nid in world.node_ids
+                    if world.overlay_node(nid).name == delegate_name
+                )
+                break
+        assert fid is not None and delegate is not None, "no multi-hop route found"
+        world.run_for(5_000)
+        world.crash(delegate)
+        world.run_for_minutes(10)
+        assert fid not in world.fuse(0).notifications, "delegate crash caused false positive"
+        members_with_state = [
+            nid for nid in world.node_ids if fid in world.fuse(nid).groups
+        ]
+        assert 0 in members_with_state
+
+
+class TestExactlyOnce:
+    @pytest.mark.parametrize("failure", ["signal", "disconnect"])
+    def test_handler_never_fires_twice(self, small_world, failure):
+        fid, _, _ = small_world.create_group_sync(0, [5, 9, 13])
+        counts = {m: 0 for m in (0, 5, 13)}
+
+        def make_handler(m):
+            def handler(_f):
+                counts[m] += 1
+
+            return handler
+
+        for m in counts:
+            small_world.fuse(m).register_failure_handler(fid, make_handler(m))
+        if failure == "signal":
+            small_world.fuse(5).signal_failure(fid)
+        else:
+            small_world.disconnect(9)
+        small_world.run_for_minutes(12)
+        assert all(c == 1 for c in counts.values()), counts
+
+
+class TestNoOrphanedState:
+    def test_group_state_vanishes_everywhere_after_failure(self, small_world):
+        fids = []
+        for root, members in [(0, [5, 9]), (2, [6, 10, 14]), (3, [7])]:
+            fid, status, _ = small_world.create_group_sync(root, members)
+            assert status == "ok"
+            fids.append(fid)
+        small_world.disconnect(9)
+        small_world.fuse(3).signal_failure(fids[2])
+        small_world.run_for_minutes(12)
+        for fid in (fids[0], fids[2]):
+            for nid in small_world.node_ids:
+                assert fid not in small_world.fuse(nid).groups, (fid, nid)

@@ -1,0 +1,140 @@
+"""Tests for group repair, sequence numbers, backoff, and crash recovery
+reconciliation (§6.5, §3.6)."""
+
+from repro import FuseConfig, FuseWorld
+from repro.net import MercatorConfig
+
+
+def build_world(seed=21, n=30, fuse_config=None):
+    world = FuseWorld(
+        n_nodes=n, seed=seed, mercator=MercatorConfig(n_hosts=n, n_as=10),
+        fuse_config=fuse_config,
+    )
+    world.bootstrap()
+    return world
+
+
+def find_group_with_delegate(world, root=0):
+    """Create a group whose liveness tree includes at least one delegate;
+    returns (fuse_id, member, delegate node id)."""
+    for member in world.node_ids[1:]:
+        if member == root:
+            continue
+        path = world.overlay.overlay_route(
+            world.overlay_node(member).name, world.overlay_node(root).name
+        )
+        if len(path) > 2:
+            fid, status, _ = world.create_group_sync(root, [member])
+            assert status == "ok"
+            delegate_name = path[1]
+            delegate = next(
+                nid for nid in world.node_ids
+                if world.overlay_node(nid).name == delegate_name
+            )
+            return fid, member, delegate
+    raise AssertionError("no multi-hop overlay route available")
+
+
+class TestRepair:
+    def test_delegate_crash_triggers_repair_and_group_survives(self):
+        world = build_world()
+        fid, member, delegate = find_group_with_delegate(world)
+        world.run_for(5_000)
+        world.crash(delegate)
+        world.run_for_minutes(10)
+        assert world.sim.metrics.counter("fuse.repairs_started").value >= 1
+        assert fid in world.fuse(0).groups
+        assert fid in world.fuse(member).groups
+        assert fid not in world.fuse(0).notifications
+
+    def test_repair_increments_sequence_number(self):
+        world = build_world()
+        fid, member, delegate = find_group_with_delegate(world)
+        world.run_for(5_000)
+        assert world.fuse(0).groups[fid].seq == 0
+        world.crash(delegate)
+        world.run_for_minutes(10)
+        assert world.fuse(0).groups[fid].seq >= 1
+        assert world.fuse(member).groups[fid].seq == world.fuse(0).groups[fid].seq
+
+    def test_repaired_tree_still_detects_real_failures(self):
+        """After a repair, a genuine member failure must still notify."""
+        world = build_world()
+        fid, member, delegate = find_group_with_delegate(world)
+        world.run_for(5_000)
+        world.crash(delegate)
+        world.run_for_minutes(10)
+        assert fid in world.fuse(0).groups  # survived delegate crash
+        world.disconnect(member)
+        world.run_for_minutes(10)
+        assert fid in world.fuse(0).notifications
+
+    def test_repair_backoff_is_capped(self):
+        cfg = FuseConfig()
+        state_backoff = cfg.repair_backoff_initial_ms
+        for _ in range(10):
+            state_backoff = min(cfg.repair_backoff_cap_ms, max(cfg.repair_backoff_initial_ms, state_backoff * 2))
+        assert state_backoff == cfg.repair_backoff_cap_ms == 40_000.0
+
+    def test_repair_encountering_recovered_member_hard_fails(self):
+        """§6.5: a member that crashed and recovered (losing volatile
+        state) must fail the repair, hardening it into notifications —
+        repairs never suppress a notification some member already needs."""
+        world = build_world(seed=33)
+        fid, status, _ = world.create_group_sync(0, [5, 9])
+        assert status == "ok"
+        world.run_for(5_000)
+        # Crash and immediately recover: the member forgets the group but
+        # stays reachable, so only reconciliation can discover the loss.
+        world.crash(9)
+        world.run_for(2_000)
+        world.restart(9)
+        world.run_for_minutes(12)
+        assert fid in world.fuse(0).notifications
+        assert fid in world.fuse(5).notifications
+
+    def test_member_repair_timeout_fires_when_root_gone(self):
+        world = build_world(seed=34)
+        fid, _, _ = world.create_group_sync(0, [5, 9])
+        world.disconnect(0)
+        world.run_for_minutes(10)
+        for m in (5, 9):
+            assert fid in world.fuse(m).notifications
+
+
+class TestRepairDisabledAblation:
+    def test_without_repair_delegate_failure_kills_group(self):
+        """DESIGN.md §5 ablation: with repair disabled, any tree break is
+        a group failure (the 'simplicity' option the paper rejected as a
+        false-positive source)."""
+        world = build_world(fuse_config=FuseConfig(repair_enabled=False))
+        fid, member, delegate = find_group_with_delegate(world)
+        world.run_for(5_000)
+        world.crash(delegate)
+        world.run_for_minutes(10)
+        assert fid in world.fuse(0).notifications  # false positive, by design
+        assert fid in world.fuse(member).notifications
+
+
+class TestCrashRecovery:
+    def test_recovery_is_stateless_rejoin(self):
+        world = build_world(seed=35)
+        world.crash(7)
+        world.run_for_minutes(4)
+        world.restart(7)
+        world.run_for_minutes(2)
+        assert world.overlay.is_member(world.overlay_node(7).name)
+        assert world.fuse(7).groups == {}
+
+    def test_groups_of_recovered_node_eventually_notified(self):
+        """§3.6: a recovering node does not know whether a notification
+        was propagated; active list comparison resolves it within about a
+        failure timeout."""
+        world = build_world(seed=36)
+        fid, _, _ = world.create_group_sync(0, [5, 9])
+        world.crash(5)
+        world.run_for(30_000)
+        world.restart(5)
+        world.run_for_minutes(12)
+        assert fid in world.fuse(0).notifications
+        assert fid in world.fuse(9).notifications

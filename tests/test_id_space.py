@@ -1,0 +1,72 @@
+"""Tests for SkipNet identifier spaces and ring-interval math."""
+
+import pytest
+
+from repro.overlay.id_space import (
+    clockwise_between,
+    name_distance_clockwise,
+    numeric_id_for,
+    shared_prefix_length,
+)
+
+
+class TestNumericId:
+    def test_deterministic(self):
+        assert numeric_id_for("alice") == numeric_id_for("alice")
+
+    def test_different_names_differ(self):
+        assert numeric_id_for("alice") != numeric_id_for("bob")
+
+    def test_digit_range(self):
+        digits = numeric_id_for("x", base=8, digits=32)
+        assert len(digits) == 32
+        assert all(0 <= d < 8 for d in digits)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            numeric_id_for("x", base=1)
+        with pytest.raises(ValueError):
+            numeric_id_for("x", digits=0)
+
+    def test_roughly_uniform_first_digit(self):
+        counts = [0] * 8
+        for i in range(4000):
+            counts[numeric_id_for(f"node-{i}")[0]] += 1
+        assert min(counts) > 300  # expected 500 each
+
+    def test_shared_prefix_length(self):
+        assert shared_prefix_length([1, 2, 3], [1, 2, 4]) == 2
+        assert shared_prefix_length([1], [2]) == 0
+        assert shared_prefix_length([5, 5], [5, 5]) == 2
+
+
+class TestClockwiseBetween:
+    def test_simple_interval(self):
+        assert clockwise_between("a", "b", "c")
+        assert not clockwise_between("a", "d", "c")
+
+    def test_endpoint_inclusion(self):
+        # (a, b]: b included, a excluded.
+        assert clockwise_between("a", "c", "c")
+        assert not clockwise_between("a", "a", "c")
+
+    def test_wraparound(self):
+        assert clockwise_between("x", "z", "b")
+        assert clockwise_between("x", "a", "b")
+        assert not clockwise_between("x", "m", "b")
+
+    def test_degenerate_interval(self):
+        assert clockwise_between("a", "a", "a")
+        assert not clockwise_between("a", "b", "a")
+
+
+class TestNameDistance:
+    def test_distance(self):
+        ring = ["a", "b", "c", "d"]
+        assert name_distance_clockwise("a", "c", ring) == 2
+        assert name_distance_clockwise("c", "a", ring) == 2
+        assert name_distance_clockwise("d", "a", ring) == 1
+
+    def test_non_member_rejected(self):
+        with pytest.raises(ValueError):
+            name_distance_clockwise("a", "z", ["a", "b"])

@@ -1,0 +1,102 @@
+"""Calibration tests for the synthetic Mercator-like topology.
+
+These assert the distribution *shapes* the paper's evaluation relies on:
+median RTT around 130 ms with a heavy T3 tail (Fig 6), and router-level
+routes with a median around 15 hops (Fig 11's loss compounding).
+"""
+
+import pytest
+
+from repro.net import MercatorConfig, Network, build_mercator_topology
+from repro.net.topology import LinkKind
+from repro.sim import Simulator
+from repro.sim.metrics import percentile
+
+
+@pytest.fixture(scope="module")
+def default_world():
+    sim = Simulator(seed=1)
+    topo, hosts = build_mercator_topology(MercatorConfig(), sim.rng.stream("topology"))
+    net = Network(sim, topo)
+    rng = sim.rng.stream("pairs")
+    routes = []
+    for _ in range(600):
+        a, b = rng.sample(hosts, 2)
+        routes.append(net.routes.route(a, b))
+    return topo, routes
+
+
+class TestMercatorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MercatorConfig(n_hosts=0)
+        with pytest.raises(ValueError):
+            MercatorConfig(n_as=1)
+        with pytest.raises(ValueError):
+            MercatorConfig(routers_per_as=0)
+        with pytest.raises(ValueError):
+            MercatorConfig(t3_fraction=1.5)
+
+    def test_scaled_for_hosts(self):
+        small = MercatorConfig.scaled_for_hosts(50)
+        large = MercatorConfig.scaled_for_hosts(16_000)
+        assert small.n_hosts == 50
+        assert large.n_as > small.n_as
+        assert large.n_as <= 512
+
+
+class TestGeneratedTopology:
+    def test_all_hosts_attached(self, default_world):
+        topo, _routes = default_world
+        assert len(list(topo.hosts())) == MercatorConfig().n_hosts
+
+    def test_router_count(self, default_world):
+        topo, _routes = default_world
+        cfg = MercatorConfig()
+        assert topo.router_count == cfg.n_as * cfg.routers_per_as
+
+    def test_connected(self, default_world):
+        """Every sampled pair found a route (Dijkstra raised for none)."""
+        _topo, routes = default_world
+        assert len(routes) == 600
+
+    def test_link_kind_mix(self, default_world):
+        topo, _routes = default_world
+        kinds = [link.kind for link in topo.links()]
+        n_t3 = sum(1 for k in kinds if k is LinkKind.T3)
+        n_oc3 = sum(1 for k in kinds if k is LinkKind.OC3)
+        assert n_t3 >= 1
+        assert n_oc3 > n_t3  # OC3 dominates, as in the paper's 97/3 mix
+
+    def test_median_rtt_shape(self, default_world):
+        """Paper: 130 ms median RTT.  Accept the low hundreds."""
+        _topo, routes = default_world
+        rtts = [2.0 * r.latency_ms for r in routes]
+        assert 90.0 <= percentile(rtts, 50) <= 250.0
+
+    def test_heavy_tail_exists(self, default_world):
+        """Paths crossing T3 links form a heavy tail (paper Fig 6)."""
+        _topo, routes = default_world
+        rtts = [2.0 * r.latency_ms for r in routes]
+        assert percentile(rtts, 95) > 3.0 * percentile(rtts, 50)
+
+    def test_route_hops_shape(self, default_world):
+        """Paper: routes of 2-43 hops with median 15."""
+        _topo, routes = default_world
+        hops = [r.hop_count for r in routes]
+        assert 8 <= percentile(hops, 50) <= 22
+        assert min(hops) >= 2
+        assert max(hops) <= 50
+
+    def test_determinism(self):
+        def build(seed):
+            sim = Simulator(seed=seed)
+            topo, _ = build_mercator_topology(
+                MercatorConfig(n_hosts=50, n_as=8), sim.rng.stream("topology")
+            )
+            return sorted(
+                (link.a, link.b, round(link.latency_ms, 6)) for link in topo.links()
+            )
+
+        assert build(3) == build(3)
+        assert build(3) != build(4)

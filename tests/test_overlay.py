@@ -1,0 +1,189 @@
+"""Integration tests for the SkipNet overlay: join, routing, liveness."""
+
+from repro.net import MercatorConfig, Network, build_mercator_topology
+from repro.net.message import Message
+from repro.net.node import Host
+from repro.overlay import OverlayConfig, SkipNetOverlay
+from repro.sim import Simulator
+
+
+class Probe(Message):
+    def __init__(self, tag: str = "") -> None:
+        self.tag = tag
+
+
+def build_overlay(n=20, seed=5, join_gap=300.0, config=None):
+    sim = Simulator(seed=seed)
+    topo, host_ids = build_mercator_topology(
+        MercatorConfig(n_hosts=n, n_as=max(4, n // 5)), sim.rng.stream("topology")
+    )
+    net = Network(sim, topo)
+    overlay = SkipNetOverlay(sim, net, config)
+    nodes = []
+    for h in host_ids:
+        host = Host(net, h, name=f"node-{h:05d}")
+        nodes.append(overlay.create_node(host))
+    for i, node in enumerate(nodes):
+        sim.call_at(i * join_gap, node.join)
+    sim.run(until=n * join_gap + 5_000.0)
+    return sim, net, overlay, nodes
+
+
+class TestJoin:
+    def test_all_nodes_join(self):
+        _sim, _net, overlay, nodes = build_overlay()
+        assert overlay.member_count == len(nodes)
+        assert all(n.joined for n in nodes)
+
+    def test_neighbor_counts_reasonable(self):
+        """Paper: 400-node overlay had ~32 distinct neighbors per node
+        with base 8 and leaf set 16; a 20-node overlay with the same leaf
+        set sees most of the ring."""
+        _sim, _net, overlay, _nodes = build_overlay()
+        avg = overlay.average_neighbor_count()
+        assert 8.0 <= avg <= 20.0
+
+    def test_double_join_rejected(self):
+        _sim, _net, _overlay, nodes = build_overlay(n=5)
+        try:
+            nodes[0].join()
+            raised = False
+        except RuntimeError:
+            raised = True
+        assert raised
+
+
+class TestRouting:
+    def test_exact_delivery(self):
+        sim, _net, _overlay, nodes = build_overlay()
+        got = []
+        nodes[13].host.register_handler(Probe, lambda m: got.append((m.tag, m.sender)))
+        nodes[2].route(nodes[13].name, Probe("x"))
+        sim.run_for(10_000)
+        assert got == [("x", nodes[2].host.node_id)]  # sender is the origin
+
+    def test_route_makes_clockwise_progress(self):
+        _sim, _net, overlay, nodes = build_overlay()
+        members = sorted(overlay.members())
+        src, dst = nodes[0].name, nodes[17].name
+        path = overlay.overlay_route(src, dst)
+        assert path[0] == src
+        assert path[-1] == dst
+        # Each hop strictly reduces clockwise distance to the destination.
+        def cw(a, b):
+            return (members.index(b) - members.index(a)) % len(members)
+
+        distances = [cw(hop, dst) for hop in path]
+        assert distances == sorted(distances, reverse=True)
+        assert len(set(distances)) == len(distances)
+
+    def test_route_hops_logarithmic(self):
+        _sim, _net, overlay, nodes = build_overlay(n=40)
+        lengths = []
+        for i in range(0, 40, 7):
+            for j in range(3, 40, 11):
+                if i != j:
+                    lengths.append(len(overlay.overlay_route(nodes[i].name, nodes[j].name)) - 1)
+        assert max(lengths) <= 12  # log-ish, not linear in 40
+
+    def test_upcalls_on_every_hop(self):
+        sim, _net, overlay, nodes = build_overlay()
+        path = None
+        for candidate in range(1, len(nodes)):
+            p = overlay.overlay_route(nodes[0].name, nodes[candidate].name)
+            if len(p) >= 3:
+                path = p
+                dest = candidate
+                break
+        assert path is not None, "need a multi-hop route for this test"
+        seen = []
+        for node in nodes:
+            node.register_upcall(
+                lambda env, prev, nxt, done, node=node: seen.append((node.name, done))
+                if isinstance(env.payload, Probe)
+                else None
+            )
+        nodes[0].route(nodes[dest].name, Probe())
+        sim.run_for(10_000)
+        names = [n for n, _ in seen]
+        assert names == path  # an upcall fired at every hop, in order
+        assert seen[-1][1] is True  # terminal hop flagged as delivery
+
+    def test_routing_table_visible(self):
+        _sim, _net, _overlay, nodes = build_overlay()
+        node = nodes[4]
+        assert node.neighbors()
+        nxt = node.next_hop_name(nodes[10].name)
+        assert nxt is None or nxt in node.table.neighbor_names()
+
+
+class TestLiveness:
+    def test_pings_flow_in_steady_state(self):
+        sim, _net, _overlay, _nodes = build_overlay(n=10)
+        sim.metrics.reset_counters()
+        sim.run_for(120_000)
+        assert sim.metrics.counter("net.msg.OverlayPing").value > 0
+        assert sim.metrics.counter("net.msg.OverlayPingAck").value > 0
+
+    def test_crashed_node_removed_from_membership(self):
+        sim, net, overlay, nodes = build_overlay(n=15)
+        victim = nodes[7]
+        net.crash_host(victim.host.node_id)
+        sim.run_for(200_000)  # > ping period + timeout
+        assert not overlay.is_member(victim.name)
+        assert overlay.member_count == 14
+
+    def test_failure_listener_fires_on_crash(self):
+        sim, net, overlay, nodes = build_overlay(n=15)
+        victim = nodes[7]
+        reports = []
+        for node in nodes:
+            node.register_failure_listener(
+                lambda nid, reason, node=node: reports.append((node.name, nid, reason))
+            )
+        net.crash_host(victim.host.node_id)
+        sim.run_for(200_000)
+        assert any(nid == victim.host.node_id for _, nid, _ in reports)
+
+    def test_graceful_leave(self):
+        sim, _net, overlay, nodes = build_overlay(n=15)
+        nodes[3].leave()
+        sim.run_for(5_000)
+        assert not overlay.is_member(nodes[3].name)
+        assert overlay.member_count == 14
+
+    def test_routing_heals_after_crash(self):
+        sim, net, overlay, nodes = build_overlay(n=15)
+        victim = nodes[7]
+        net.crash_host(victim.host.node_id)
+        sim.run_for(200_000)
+        # Any remaining pair still routes.
+        got = []
+        nodes[2].host.register_handler(Probe, lambda m: got.append(m.tag))
+        nodes[11].route(nodes[2].name, Probe("after"))
+        sim.run_for(10_000)
+        assert got == ["after"]
+
+    def test_rejoin_after_crash(self):
+        sim, net, overlay, nodes = build_overlay(n=12)
+        victim = nodes[5]
+        net.crash_host(victim.host.node_id)
+        sim.run_for(200_000)
+        assert not overlay.is_member(victim.name)
+        net.recover_host(victim.host.node_id)
+        victim.join()
+        sim.run_for(60_000)
+        assert overlay.is_member(victim.name)
+
+    def test_ping_payload_providers_and_listeners(self):
+        sim, _net, _overlay, nodes = build_overlay(n=8)
+        nodes[0].register_payload_provider(lambda neighbor: {"test": {"v": 1}})
+        heard = []
+        for node in nodes[1:]:
+            node.register_ping_listener(
+                lambda frm, payload, is_ack: heard.append(payload)
+                if "test" in payload
+                else None
+            )
+        sim.run_for(130_000)
+        assert heard  # payload piggybacked on node 0's pings reached peers

@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on core data structures and the
+one-way agreement invariant."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.overlay.id_space import clockwise_between, numeric_id_for
+from repro.overlay.skipnet.rings import RingStructure
+from repro.sim import CdfSeries, EventQueue, Simulator, percentile
+
+# ---------------------------------------------------------------------------
+# Simulation kernel properties
+# ---------------------------------------------------------------------------
+
+
+class TestEventOrderingProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=1, max_size=200))
+    def test_events_dispatch_in_time_order(self, times):
+        q = EventQueue()
+        fired = []
+        for t in times:
+            q.push(t, lambda t=t: fired.append(t))
+        while (event := q.pop()) is not None:
+            event.callback()
+        assert fired == sorted(times)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100),
+        st.data(),
+    )
+    def test_cancellation_removes_exactly_the_cancelled(self, times, data):
+        q = EventQueue()
+        events = [q.push(t, lambda: None) for t in times]
+        to_cancel = data.draw(
+            st.sets(st.integers(min_value=0, max_value=len(events) - 1))
+        )
+        for index in to_cancel:
+            events[index].cancel()
+        survivors = []
+        while (event := q.pop()) is not None:
+            survivors.append(event)
+        assert len(survivors) == len(events) - len(to_cancel)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_simulator_clock_never_goes_backwards(self, seed):
+        sim = Simulator(seed=seed)
+        rng = sim.rng.stream("x")
+        observed = []
+        for _ in range(30):
+            sim.call_at(rng.uniform(0, 1000), lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+
+
+# ---------------------------------------------------------------------------
+# Metrics properties
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=300))
+    def test_percentile_bounded_by_extremes(self, samples):
+        for p in (0, 25, 50, 75, 100):
+            value = percentile(samples, p)
+            assert min(samples) <= value <= max(samples)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=200))
+    def test_percentile_monotone_in_p(self, samples):
+        values = [percentile(samples, p) for p in range(0, 101, 10)]
+        assert values == sorted(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_cdf_roundtrip(self, samples):
+        cdf = CdfSeries("x", samples)
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            value = cdf.value_at_fraction(fraction)
+            assert cdf.fraction_at_or_below(value) >= fraction - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Overlay structure properties
+# ---------------------------------------------------------------------------
+
+names = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=8),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+
+
+class TestRingProperties:
+    @given(names)
+    def test_tables_are_symmetric_at_level0(self, members):
+        """If b is a's clockwise level-0 neighbor, a is b's ccw neighbor."""
+        rings = RingStructure(base=8, numeric_digits=16, leaf_set_half=2)
+        for name in members:
+            rings.add(name)
+        if len(members) < 2:
+            return
+        for name in members:
+            table = rings.table_for(name)
+            level0 = table.ring_neighbors[0]
+            cw = level0[1]
+            other = rings.table_for(cw)
+            assert other.ring_neighbors[0][2] == name
+
+    @given(names, st.data())
+    def test_add_remove_roundtrip_preserves_tables(self, members, data):
+        rings = RingStructure(base=8, numeric_digits=16, leaf_set_half=2)
+        for name in members:
+            rings.add(name)
+        before = {m: rings.table_for(m).neighbor_names() for m in members}
+        extra = data.draw(st.text(alphabet="xyz", min_size=9, max_size=12))
+        if extra in rings:
+            return
+        rings.add(extra)
+        rings.remove(extra)
+        after = {m: rings.table_for(m).neighbor_names() for m in members}
+        assert before == after
+
+    @given(names)
+    def test_neighbor_relation_covers_ring(self, members):
+        """Following clockwise level-0 pointers visits every member."""
+        rings = RingStructure(base=8, numeric_digits=16, leaf_set_half=2)
+        for name in members:
+            rings.add(name)
+        if len(members) < 2:
+            return
+        start = members[0]
+        seen = {start}
+        current = start
+        for _ in range(len(members)):
+            current = rings.table_for(current).ring_neighbors[0][1]
+            seen.add(current)
+        assert seen == set(members)
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_numeric_id_stable(self, name):
+        assert numeric_id_for(name) == numeric_id_for(name)
+
+
+class TestClockwiseProperties:
+    @given(st.text(alphabet="abc", max_size=4), st.text(alphabet="abc", max_size=4),
+           st.text(alphabet="abc", max_size=4))
+    def test_interval_membership_is_antisymmetric(self, a, x, b):
+        """x in (a, b] and x in (b, a] can only both hold when x == b == a
+        boundary degenerates; at most one strict interval contains x."""
+        if a == b or x in (a, b):
+            return
+        assert clockwise_between(a, x, b) != clockwise_between(b, x, a)
+
+
+# ---------------------------------------------------------------------------
+# FUSE one-way agreement under randomized fault schedules
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    data=st.data(),
+)
+def test_one_way_agreement_random_faults(seed, data):
+    """For random groups and a random fault schedule: if any live member of
+    a group is notified, every live member is notified exactly once, and
+    no group state survives anywhere."""
+    from repro import FuseWorld
+    from repro.net import MercatorConfig
+
+    world = FuseWorld(
+        n_nodes=20, seed=seed, mercator=MercatorConfig(n_hosts=20, n_as=6)
+    )
+    world.bootstrap()
+
+    n_groups = data.draw(st.integers(min_value=1, max_value=4))
+    groups = []
+    counts = {}
+    rng_ids = world.node_ids
+    for _ in range(n_groups):
+        size = data.draw(st.integers(min_value=2, max_value=5))
+        members = data.draw(
+            st.lists(st.sampled_from(rng_ids), min_size=size, max_size=size, unique=True)
+        )
+        root, rest = members[0], members[1:]
+        fid, status, _ = world.create_group_sync(root, rest)
+        if status != "ok":
+            continue
+        groups.append((fid, members))
+        for node in members:
+            key = (fid, node)
+            counts[key] = 0
+
+            def handler(_f, key=key):
+                counts[key] += 1
+
+            world.fuse(node).register_failure_handler(fid, handler)
+
+    n_faults = data.draw(st.integers(min_value=1, max_value=3))
+    for _ in range(n_faults):
+        kind = data.draw(st.sampled_from(["crash", "disconnect", "signal"]))
+        node = data.draw(st.sampled_from(rng_ids))
+        if kind == "crash":
+            if world.host(node).alive:
+                world.crash(node)
+        elif kind == "disconnect":
+            if world.host(node).alive:
+                world.disconnect(node)
+        elif groups:
+            fid, members = groups[data.draw(st.integers(0, len(groups) - 1))]
+            world.fuse(members[0]).signal_failure(fid)
+        world.run_for_minutes(data.draw(st.floats(min_value=0.1, max_value=2.0)))
+
+    world.run_for_minutes(14.0)
+
+    for fid, members in groups:
+        notified = [n for n in members if counts[(fid, n)] > 0]
+        if not notified:
+            continue  # group never affected: fine
+        for node in members:
+            if not world.host(node).alive:
+                continue
+            assert counts[(fid, node)] == 1, (
+                f"group {fid}: node {node} fired {counts[(fid, node)]} times"
+            )
+        # No state survives after a notification.
+        for node in world.node_ids:
+            assert fid not in world.fuse(node).groups

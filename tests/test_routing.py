@@ -1,0 +1,83 @@
+"""Tests for shortest-latency routing and the route cache."""
+
+import pytest
+
+from repro.net.routing import RouteTable
+from repro.net.topology import LinkKind, Topology
+
+
+@pytest.fixture
+def diamond():
+    """Two host attachment points with a fast and a slow path between."""
+    topo = Topology()
+    a, b, c, d = (topo.add_router() for _ in range(4))
+    topo.add_link(a, b, 10.0, LinkKind.OC3)   # fast upper path a-b-d: 20
+    topo.add_link(b, d, 10.0, LinkKind.OC3)
+    topo.add_link(a, c, 50.0, LinkKind.OC3)   # slow lower path a-c-d: 100
+    topo.add_link(c, d, 50.0, LinkKind.OC3)
+    topo.attach_host(0, a, access_latency_ms=1.0)
+    topo.attach_host(1, d, access_latency_ms=1.0)
+    return topo
+
+
+class TestRouteTable:
+    def test_prefers_lower_latency(self, diamond):
+        table = RouteTable(diamond)
+        route = table.route(0, 1)
+        assert route.latency_ms == pytest.approx(22.0)
+        assert route.hop_count == 4  # access, a-b, b-d, access
+
+    def test_route_to_self_rejected(self, diamond):
+        table = RouteTable(diamond)
+        with pytest.raises(ValueError):
+            table.route(0, 0)
+
+    def test_latency_to_self_zero(self, diamond):
+        assert RouteTable(diamond).latency(0, 0) == 0.0
+
+    def test_rtt_is_double(self, diamond):
+        table = RouteTable(diamond)
+        assert table.rtt(0, 1) == pytest.approx(44.0)
+
+    def test_symmetric_routes(self, diamond):
+        table = RouteTable(diamond)
+        fwd = table.route(0, 1)
+        rev = table.route(1, 0)
+        assert fwd.latency_ms == rev.latency_ms
+        assert [l.endpoints() for l in fwd.links] == [
+            l.endpoints() for l in reversed(rev.links)
+        ]
+
+    def test_cache_returns_same_object(self, diamond):
+        table = RouteTable(diamond)
+        assert table.route(0, 1) is table.route(0, 1)
+
+    def test_invalidate_clears_cache(self, diamond):
+        table = RouteTable(diamond)
+        first = table.route(0, 1)
+        table.invalidate()
+        assert table.route(0, 1) is not first
+
+    def test_unreachable_raises(self):
+        topo = Topology()
+        a = topo.add_router()
+        b = topo.add_router()  # not linked to a
+        topo.attach_host(0, a)
+        topo.attach_host(1, b)
+        with pytest.raises(ValueError):
+            RouteTable(topo).route(0, 1)
+
+    def test_current_loss_sees_late_loss_changes(self, diamond):
+        """Experiments flip loss on after routes are cached (Fig 11/12)."""
+        table = RouteTable(diamond)
+        route = table.route(0, 1)
+        assert route.current_loss() == 0.0
+        diamond.set_uniform_loss(0.01)
+        assert route.current_loss() > 0.0
+        assert route.loss_static == 0.0  # snapshot untouched
+
+    def test_router_path_endpoints(self, diamond):
+        table = RouteTable(diamond)
+        path = table.router_path(0, 3)
+        assert path[0] == 0
+        assert path[-1] == 3

@@ -1,0 +1,138 @@
+"""Tests for the host-level RPC facility and crash incarnation guards."""
+
+import pytest
+
+from repro.net import MercatorConfig, Network, build_mercator_topology
+from repro.net.message import Message
+from repro.net.node import Host, RpcReply, RpcRequest
+from repro.sim import Simulator
+
+
+class Ask(RpcRequest):
+    def __init__(self, question: str = "") -> None:
+        super().__init__()
+        self.question = question
+
+
+class Answer(RpcReply):
+    def __init__(self, text: str = "") -> None:
+        super().__init__()
+        self.text = text
+
+
+def build(seed=1):
+    sim = Simulator(seed=seed)
+    topo, host_ids = build_mercator_topology(
+        MercatorConfig(n_hosts=6, n_as=3), sim.rng.stream("topology")
+    )
+    net = Network(sim, topo)
+    hosts = [Host(net, h) for h in host_ids]
+    return sim, net, hosts
+
+
+class TestRpc:
+    def test_round_trip(self):
+        sim, _net, hosts = build()
+        hosts[1].register_handler(Ask, lambda m: hosts[1].respond(m, Answer("42")))
+        replies, failures = [], []
+        hosts[0].rpc(1, Ask("q"), 60_000, replies.append, failures.append)
+        sim.run()
+        assert [r.text for r in replies] == ["42"]
+        assert failures == []
+
+    def test_reply_subclass_dispatch(self):
+        """Replies dispatch via the RpcReply base handler (MRO lookup)."""
+        sim, _net, hosts = build()
+        hosts[1].register_handler(Ask, lambda m: hosts[1].respond(m, Answer("ok")))
+        got = []
+        hosts[0].rpc(1, Ask(), 60_000, lambda r: got.append(type(r).__name__), lambda w: None)
+        sim.run()
+        assert got == ["Answer"]
+
+    def test_timeout_when_no_responder(self):
+        sim, _net, hosts = build()
+        # Host 1 has no Ask handler: the request is dropped.
+        replies, failures = [], []
+        hosts[0].rpc(1, Ask(), 5_000, replies.append, failures.append)
+        sim.run()
+        assert replies == []
+        assert failures == ["timeout"]
+
+    def test_broken_connection_reports_broken(self):
+        sim, net, hosts = build()
+        net.disconnect_host(1)
+        failures = []
+        hosts[0].rpc(1, Ask(), 120_000, lambda r: None, failures.append)
+        sim.run()
+        assert failures == ["broken"]
+
+    def test_exactly_one_callback(self):
+        """A late reply after timeout must not fire on_reply."""
+        sim, _net, hosts = build()
+
+        def slow_responder(m):
+            hosts[1].call_after(10_000, lambda: hosts[1].respond(m, Answer("late")))
+
+        hosts[1].register_handler(Ask, slow_responder)
+        events = []
+        hosts[0].rpc(1, Ask(), 1_000, lambda r: events.append("reply"), lambda w: events.append(w))
+        sim.run()
+        assert events == ["timeout"]
+
+    def test_rpc_requires_request_type(self):
+        _sim, _net, hosts = build()
+        with pytest.raises(TypeError):
+            hosts[0].rpc(1, Message(), 1_000, lambda r: None, lambda w: None)
+
+    def test_respond_requires_delivered_request(self):
+        _sim, _net, hosts = build()
+        with pytest.raises(ValueError):
+            hosts[0].respond(Ask(), Answer())
+
+    def test_concurrent_rpcs_matched_by_id(self):
+        sim, _net, hosts = build()
+        hosts[1].register_handler(Ask, lambda m: hosts[1].respond(m, Answer(m.question)))
+        hosts[2].register_handler(Ask, lambda m: hosts[2].respond(m, Answer(m.question)))
+        got = {}
+        hosts[0].rpc(1, Ask("one"), 60_000, lambda r: got.setdefault(1, r.text), lambda w: None)
+        hosts[0].rpc(2, Ask("two"), 60_000, lambda r: got.setdefault(2, r.text), lambda w: None)
+        sim.run()
+        assert got == {1: "one", 2: "two"}
+
+
+class TestCrashSemantics:
+    def test_timers_squelched_after_crash(self):
+        sim, net, hosts = build()
+        fired = []
+        hosts[0].call_after(1_000, lambda: fired.append(1))
+        net.crash_host(0)
+        sim.run()
+        assert fired == []
+
+    def test_recovered_incarnation_does_not_run_old_timers(self):
+        sim, net, hosts = build()
+        fired = []
+        hosts[0].call_after(10_000, lambda: fired.append("old"))
+        net.crash_host(0)
+        net.recover_host(0)
+        hosts[0].call_after(20_000, lambda: fired.append("new"))
+        sim.run()
+        assert fired == ["new"]
+
+    def test_pending_rpc_dropped_on_crash(self):
+        sim, net, hosts = build()
+        hosts[1].register_handler(Ask, lambda m: hosts[1].respond(m, Answer()))
+        events = []
+        hosts[0].rpc(1, Ask(), 60_000, lambda r: events.append("reply"), lambda w: events.append(w))
+        net.crash_host(0)
+        sim.run()
+        assert events == []
+
+    def test_crash_purges_connections(self):
+        sim, net, hosts = build()
+        hosts[1].register_handler(Ask, lambda m: hosts[1].respond(m, Answer()))
+        hosts[0].rpc(1, Ask(), 60_000, lambda r: None, lambda w: None)
+        sim.run()
+        assert net.has_connection(0, 1)
+        net.crash_host(1)
+        assert not net.has_connection(0, 1)

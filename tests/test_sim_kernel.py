@@ -1,0 +1,191 @@
+"""Tests for the discrete-event kernel: clock, queue, timers, determinism."""
+
+import pytest
+
+from repro.sim import Clock, EventQueue, Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance_to(5.5)
+        assert clock.now == 5.5
+
+    def test_cannot_move_backwards(self):
+        clock = Clock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_seconds(self):
+        clock = Clock(1500.0)
+        assert clock.seconds() == 1.5
+
+
+class TestEventQueue:
+    def test_pop_order_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(30.0, lambda: fired.append("c"))
+        q.push(10.0, lambda: fired.append("a"))
+        q.push(20.0, lambda: fired.append("b"))
+        while True:
+            event = q.pop()
+            if event is None:
+                break
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_tie_break_by_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for tag in "abcde":
+            q.push(5.0, lambda t=tag: fired.append(t))
+        while (event := q.pop()) is not None:
+            event.callback()
+        assert fired == list("abcde")
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        keep = q.push(1.0, lambda: None, label="keep")
+        drop = q.push(0.5, lambda: None, label="drop")
+        drop.cancel()
+        assert q.pop() is keep
+        assert q.pop() is None
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        e1.cancel()
+        q.peek_time()  # forces lazy cleanup
+        assert len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.0, lambda: None)
+        assert q.peek_time() == 7.0
+
+
+class TestSimulator:
+    def test_call_at_and_now(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(100.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100.0]
+
+    def test_call_after(self):
+        sim = Simulator()
+        sim.call_at(50.0, lambda: sim.call_after(25.0, lambda: seen.append(sim.now)))
+        seen = []
+        sim.run()
+        assert seen == [75.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.call_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.call_after(-1.0, lambda: None)
+
+    def test_run_until_advances_clock_even_if_queue_drains(self):
+        sim = Simulator()
+        sim.call_at(10.0, lambda: None)
+        sim.run(until=500.0)
+        assert sim.now == 500.0
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(100.0, lambda: fired.append(1))
+        sim.call_at(900.0, lambda: fired.append(2))
+        sim.run(until=500.0)
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_timer_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_at(10.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert not handle.active
+
+    def test_timer_active_until_fired(self):
+        sim = Simulator()
+        handle = sim.call_at(10.0, lambda: None)
+        assert handle.active
+        sim.run()
+        assert not handle.active
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.call_at(float(i), lambda: None)
+        dispatched = sim.run(max_events=4)
+        assert dispatched == 4
+        assert sim.now == 3.0
+
+    def test_stop_requested_mid_run(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.call_at(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_determinism_same_seed(self):
+        def run(seed: int):
+            sim = Simulator(seed=seed)
+            rng = sim.rng.stream("x")
+            out = []
+            for i in range(20):
+                sim.call_at(rng.uniform(0, 100), lambda i=i: out.append(i))
+            sim.run()
+            return out
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        sim.call_at(1.0, reenter)
+        sim.run()
+        assert errors and "reentrant" in errors[0]
+
+    def test_events_dispatched_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.call_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 5
+
+    def test_trace_records_dispatches(self):
+        sim = Simulator(trace=True)
+        sim.call_at(3.0, lambda: None, label="hello")
+        sim.run()
+        assert any("hello" in rec.message for rec in sim.trace)

@@ -1,0 +1,168 @@
+"""Tests for counters, histograms, CDFs, and percentile math."""
+
+import math
+
+import pytest
+
+from repro.sim import CdfSeries, Counter, Histogram, Simulator, percentile
+from repro.sim.clock import Clock
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_single_sample(self):
+        assert percentile([5.0], 0) == 5.0
+        assert percentile([5.0], 100) == 5.0
+
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+        assert percentile(data, 25) == 25
+
+    def test_matches_numpy_linear(self):
+        numpy = pytest.importorskip("numpy")
+        data = [0.3, 7.1, 2.2, 9.9, 4.4, 5.0, 1.1]
+        for p in (10, 25, 50, 75, 90, 99):
+            assert math.isclose(percentile(data, p), float(numpy.percentile(data, p)))
+
+
+class TestCounter:
+    def test_increment(self):
+        c = Counter("x")
+        c.increment()
+        c.increment(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.increment(-1)
+
+    def test_rate_with_explicit_window(self):
+        c = Counter("x")
+        c.increment(10)
+        assert c.rate_per_second(window_ms=2000.0) == 5.0
+
+    def test_rate_with_clock(self):
+        clock = Clock()
+        c = Counter("x", clock)
+        c.increment(30)
+        clock.advance_to(10_000.0)
+        assert c.rate_per_second() == 3.0
+
+    def test_reset_restarts_window(self):
+        clock = Clock()
+        c = Counter("x", clock)
+        c.increment(100)
+        clock.advance_to(5_000.0)
+        c.reset()
+        c.increment(5)
+        clock.advance_to(10_000.0)
+        assert c.rate_per_second() == 1.0
+
+    def test_rate_without_clock_needs_window(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.rate_per_second()
+
+    def test_zero_window_rate(self):
+        c = Counter("x")
+        c.increment()
+        assert c.rate_per_second(window_ms=0.0) == 0.0
+
+
+class TestHistogram:
+    def test_summary_quartiles(self):
+        h = Histogram("lat")
+        h.extend(range(1, 101))
+        s = h.summary()
+        assert s["p25"] == pytest.approx(25.75)
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["p75"] == pytest.approx(75.25)
+        assert s["min"] == 1
+        assert s["max"] == 100
+        assert s["count"] == 100
+
+    def test_mean(self):
+        h = Histogram("lat")
+        h.extend([1.0, 2.0, 3.0])
+        assert h.mean() == 2.0
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").mean()
+
+
+class TestCdfSeries:
+    def test_fraction_at_or_below(self):
+        cdf = CdfSeries("x", [1, 2, 3, 4])
+        assert cdf.fraction_at_or_below(2) == 0.5
+        assert cdf.fraction_at_or_below(0) == 0.0
+        assert cdf.fraction_at_or_below(4) == 1.0
+
+    def test_value_at_fraction(self):
+        cdf = CdfSeries("x", [10, 20, 30, 40])
+        assert cdf.value_at_fraction(0.25) == 10
+        assert cdf.value_at_fraction(0.5) == 20
+        assert cdf.value_at_fraction(1.0) == 40
+
+    def test_median(self):
+        cdf = CdfSeries("x", [5, 1, 9])
+        assert cdf.median() == 5
+
+    def test_invalid_fraction(self):
+        cdf = CdfSeries("x", [1])
+        with pytest.raises(ValueError):
+            cdf.value_at_fraction(0.0)
+        with pytest.raises(ValueError):
+            cdf.value_at_fraction(1.5)
+
+    def test_points_monotone_and_complete(self):
+        cdf = CdfSeries("x", list(range(1000)))
+        pts = cdf.points(max_points=50)
+        assert pts[-1][1] == 1.0
+        values = [v for v, _ in pts]
+        fracs = [f for _, f in pts]
+        assert values == sorted(values)
+        assert fracs == sorted(fracs)
+
+    def test_add_after_query(self):
+        cdf = CdfSeries("x", [1, 2])
+        assert cdf.median() == 1
+        cdf.add(0)
+        assert cdf.median() == 1
+        cdf.add(0)
+        assert cdf.median() == 0 or cdf.median() == 1  # n=4 -> value at 0.5 is 2nd
+
+
+class TestRegistry:
+    def test_counters_cached_by_name(self):
+        sim = Simulator()
+        a = sim.metrics.counter("x")
+        b = sim.metrics.counter("x")
+        assert a is b
+
+    def test_reset_counters(self):
+        sim = Simulator()
+        sim.metrics.counter("x").increment(9)
+        sim.metrics.reset_counters()
+        assert sim.metrics.counter("x").value == 0
+
+    def test_histogram_and_cdf_cached(self):
+        sim = Simulator()
+        assert sim.metrics.histogram("h") is sim.metrics.histogram("h")
+        assert sim.metrics.cdf("c") is sim.metrics.cdf("c")

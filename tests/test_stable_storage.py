@@ -1,0 +1,109 @@
+"""Tests for the §3.6 stable-storage alternative implementation."""
+
+from repro import FuseConfig, FuseWorld
+from repro.net import MercatorConfig
+
+
+def build_world(stable=True, seed=41, n=24):
+    world = FuseWorld(
+        n_nodes=n,
+        seed=seed,
+        mercator=MercatorConfig(n_hosts=n, n_as=8),
+        fuse_config=FuseConfig(stable_storage=stable),
+    )
+    world.bootstrap()
+    return world
+
+
+class TestStableStorage:
+    def test_brief_crash_is_masked(self):
+        """A member that crashes and recovers quickly re-installs its
+        groups from stable storage; the group survives."""
+        world = build_world(stable=True)
+        fid, status, _ = world.create_group_sync(0, [5, 9])
+        assert status == "ok"
+        world.run_for(5_000)
+        world.crash(9)
+        world.run_for(2_000)
+        world.restart(9)
+        world.run_for_minutes(12)
+        # The recovered member reconciled: the group is alive everywhere.
+        assert fid in world.fuse(9).groups
+        assert fid in world.fuse(0).groups
+        assert fid not in world.fuse(0).notifications
+
+    def test_without_stable_storage_same_crash_fails_group(self):
+        """Control: the identical schedule without stable storage hardens
+        into notifications (the volatile-state behaviour)."""
+        world = build_world(stable=False)
+        fid, status, _ = world.create_group_sync(0, [5, 9])
+        assert status == "ok"
+        world.run_for(5_000)
+        world.crash(9)
+        world.run_for(2_000)
+        world.restart(9)
+        world.run_for_minutes(12)
+        assert fid in world.fuse(0).notifications
+
+    def test_root_crash_recovery_rebuilds_tree(self):
+        world = build_world(stable=True, seed=43)
+        fid, status, _ = world.create_group_sync(0, [5, 9])
+        assert status == "ok"
+        world.run_for(5_000)
+        world.crash(0)
+        world.run_for(2_000)
+        world.restart(0)
+        world.run_for_minutes(12)
+        assert fid in world.fuse(0).groups
+        assert fid in world.fuse(5).groups
+
+    def test_failed_group_not_resurrected(self):
+        """Stable storage must not bring back a group that was signalled
+        while the node was down — or after it failed normally."""
+        world = build_world(stable=True, seed=44)
+        fid, status, _ = world.create_group_sync(0, [5, 9])
+        assert status == "ok"
+        world.fuse(5).signal_failure(fid)
+        world.run_for_minutes(2)
+        assert fid in world.fuse(9).notifications
+        world.crash(9)
+        world.run_for(1_000)
+        world.restart(9)
+        world.run_for_minutes(5)
+        assert fid not in world.fuse(9).groups
+
+    def test_long_outage_still_notifies_survivors(self):
+        """Stable storage masks brief crashes only: during a long outage
+        the survivors' timers fire first, and the recovered node's repair
+        attempt reconciles it to the failure."""
+        world = build_world(stable=True, seed=45)
+        fid, status, _ = world.create_group_sync(0, [5, 9])
+        assert status == "ok"
+        world.run_for(5_000)
+        world.crash(9)
+        world.run_for_minutes(10)  # far beyond detection + repair timeouts
+        assert fid in world.fuse(0).notifications
+        assert fid in world.fuse(5).notifications
+        world.restart(9)
+        world.run_for_minutes(8)
+        # The recovered node's resurrected state reconciles to failed.
+        assert fid not in world.fuse(9).groups
+
+    def test_mixed_deployment_compatible(self):
+        """Nodes with and without stable storage co-exist (§3.6)."""
+        world = FuseWorld(
+            n_nodes=16,
+            seed=46,
+            mercator=MercatorConfig(n_hosts=16, n_as=6),
+            fuse_config=FuseConfig(stable_storage=False),
+        )
+        # Flip half the nodes to stable storage after construction.
+        for nid in world.node_ids[::2]:
+            world.fuse(nid).config = FuseConfig(stable_storage=True)
+        world.bootstrap()
+        fid, status, _ = world.create_group_sync(0, [3, 6])
+        assert status == "ok"
+        world.fuse(3).signal_failure(fid)
+        world.run_for_minutes(3)
+        for m in (0, 3, 6):
+            assert fid in world.fuse(m).notifications

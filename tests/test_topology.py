@@ -1,0 +1,121 @@
+"""Tests for the router topology and link/loss model."""
+
+import pytest
+
+from repro.net.topology import Link, LinkKind, Topology
+
+
+def line_topology(n_routers: int, latency: float = 10.0) -> Topology:
+    topo = Topology()
+    routers = [topo.add_router() for _ in range(n_routers)]
+    for i in range(n_routers - 1):
+        topo.add_link(routers[i], routers[i + 1], latency, LinkKind.INTRA_AS)
+    return topo
+
+
+class TestLink:
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            Link(0, 1, -1.0, LinkKind.OC3)
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ValueError):
+            Link(0, 1, 1.0, LinkKind.OC3, loss=1.0)
+        with pytest.raises(ValueError):
+            Link(0, 1, 1.0, LinkKind.OC3, loss=-0.1)
+
+
+class TestTopology:
+    def test_add_router_ids_sequential(self):
+        topo = Topology()
+        assert topo.add_router() == 0
+        assert topo.add_router() == 1
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        r = topo.add_router()
+        with pytest.raises(ValueError):
+            topo.add_link(r, r, 1.0, LinkKind.OC3)
+
+    def test_duplicate_link_rejected(self):
+        topo = line_topology(2)
+        with pytest.raises(ValueError):
+            topo.add_link(0, 1, 1.0, LinkKind.OC3)
+        with pytest.raises(ValueError):
+            topo.add_link(1, 0, 1.0, LinkKind.OC3)
+
+    def test_unknown_router_rejected(self):
+        topo = Topology()
+        topo.add_router()
+        with pytest.raises(KeyError):
+            topo.add_link(0, 99, 1.0, LinkKind.OC3)
+
+    def test_link_between_symmetric(self):
+        topo = line_topology(2)
+        assert topo.link_between(0, 1) is topo.link_between(1, 0)
+
+    def test_attach_host(self):
+        topo = line_topology(2)
+        topo.attach_host(0, 1, access_latency_ms=2.0)
+        assert topo.host_router(0) == 1
+        assert topo.access_link(0).latency_ms == 2.0
+
+    def test_attach_host_twice_rejected(self):
+        topo = line_topology(2)
+        topo.attach_host(0, 0)
+        with pytest.raises(ValueError):
+            topo.attach_host(0, 1)
+
+    def test_attach_to_unknown_router_rejected(self):
+        topo = Topology()
+        with pytest.raises(KeyError):
+            topo.attach_host(0, 5)
+
+    def test_route_links_includes_access_links(self):
+        topo = line_topology(3)
+        topo.attach_host(0, 0, access_latency_ms=1.0)
+        topo.attach_host(1, 2, access_latency_ms=1.0)
+        links = topo.route_links(0, 1, [0, 1, 2])
+        assert len(links) == 4  # access + 2 router links + access
+
+    def test_route_links_same_host_empty(self):
+        topo = line_topology(1)
+        topo.attach_host(0, 0)
+        assert topo.route_links(0, 0, [0]) == []
+
+    def test_path_latency_sums(self):
+        topo = line_topology(3, latency=10.0)
+        topo.attach_host(0, 0, access_latency_ms=1.0)
+        topo.attach_host(1, 2, access_latency_ms=1.0)
+        links = topo.route_links(0, 1, [0, 1, 2])
+        assert Topology.path_latency(links) == pytest.approx(22.0)
+
+    def test_path_loss_compounds(self):
+        topo = line_topology(3)
+        topo.attach_host(0, 0)
+        topo.attach_host(1, 2)
+        topo.set_uniform_loss(0.1)
+        links = topo.route_links(0, 1, [0, 1, 2])
+        expected = 1.0 - (1.0 - 0.1) ** 4
+        assert Topology.path_loss(links) == pytest.approx(expected)
+
+    def test_set_uniform_loss_filters_by_kind(self):
+        topo = Topology()
+        a, b, c = (topo.add_router() for _ in range(3))
+        oc3 = topo.add_link(a, b, 10.0, LinkKind.OC3)
+        intra = topo.add_link(b, c, 1.0, LinkKind.INTRA_AS)
+        topo.set_uniform_loss(0.05, kinds=[LinkKind.OC3])
+        assert oc3.loss == 0.05
+        assert intra.loss == 0.0
+
+    def test_set_uniform_loss_rejects_invalid(self):
+        topo = line_topology(2)
+        with pytest.raises(ValueError):
+            topo.set_uniform_loss(1.0)
+
+    def test_paper_fig11_loss_compounding(self):
+        """Per-link loss of 0.4% over a 15-hop route gives ~5.8% route
+        loss — exactly the paper's Fig 11 median numbers."""
+        for per_link, expected_route in [(0.004, 0.058), (0.008, 0.114), (0.016, 0.215)]:
+            survive = (1.0 - per_link) ** 15
+            assert 1.0 - survive == pytest.approx(expected_route, abs=0.004)

@@ -1,0 +1,195 @@
+"""Tests for the TCP-like transport: delivery, retries, breaks, overhead."""
+
+import pytest
+
+from repro.net import MercatorConfig, Network, build_mercator_topology
+from repro.net.message import Message
+from repro.net.node import Host
+from repro.net.transport import TransportConfig
+from repro.sim import Simulator
+
+
+class Note(Message):
+    def __init__(self, text: str = "") -> None:
+        self.text = text
+
+
+def build_net(seed=1, n_hosts=10, transport=None):
+    sim = Simulator(seed=seed)
+    topo, host_ids = build_mercator_topology(
+        MercatorConfig(n_hosts=n_hosts, n_as=4), sim.rng.stream("topology")
+    )
+    net = Network(sim, topo, config=transport)
+    hosts = [Host(net, h) for h in host_ids]
+    return sim, net, hosts
+
+
+class TestTransportConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransportConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            TransportConfig(rto_initial_ms=0)
+        with pytest.raises(ValueError):
+            TransportConfig(rto_backoff=0.5)
+        with pytest.raises(ValueError):
+            TransportConfig(jitter_fraction=1.0)
+
+    def test_retry_schedule(self):
+        cfg = TransportConfig(rto_initial_ms=100, rto_backoff=2.0, max_retries=3)
+        assert cfg.retry_schedule_ms() == [100.0, 300.0, 700.0]
+        assert cfg.worst_case_delivery_extra_ms() == 700.0
+
+    def test_zero_retries_schedule_empty(self):
+        cfg = TransportConfig(max_retries=0)
+        assert cfg.retry_schedule_ms() == []
+        assert cfg.worst_case_delivery_extra_ms() == 0.0
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        sim, net, hosts = build_net()
+        got = []
+        hosts[1].register_handler(Note, lambda m: got.append((m.text, m.sender)))
+        hosts[0].send(1, Note("hi"))
+        sim.run()
+        assert got == [("hi", 0)]
+
+    def test_send_to_self_rejected(self):
+        _sim, net, hosts = build_net()
+        with pytest.raises(ValueError):
+            net.send(0, 0, Note())
+
+    def test_unknown_endpoint_rejected(self):
+        _sim, net, _hosts = build_net()
+        with pytest.raises(KeyError):
+            net.send(0, 999, Note())
+
+    def test_first_contact_slower_than_second(self):
+        """Connection-cache behaviour behind the paper's Fig 6."""
+        sim, net, hosts = build_net()
+        times = []
+        hosts[1].register_handler(Note, lambda m: times.append(sim.now))
+        start1 = sim.now
+        hosts[0].send(1, Note("first"))
+        sim.run()
+        first_latency = times[0] - start1
+        start2 = sim.now
+        hosts[0].send(1, Note("second"))
+        sim.run()
+        second_latency = times[1] - start2
+        assert first_latency > 1.5 * second_latency
+
+    def test_delivery_latency_at_least_route_latency(self):
+        sim, net, hosts = build_net()
+        times = []
+        hosts[1].register_handler(Note, lambda m: times.append(sim.now))
+        hosts[0].send(1, Note())
+        sim.run()
+        assert times[0] >= net.routes.latency(0, 1)
+
+    def test_message_sender_not_mutated(self):
+        """The same Message object sent to two peers keeps sender=None on
+        the original (copies are stamped, not the original)."""
+        sim, net, hosts = build_net()
+        msg = Note("fanout")
+        hosts[0].send(1, msg)
+        hosts[0].send(2, msg)
+        sim.run()
+        assert msg.sender is None
+
+    def test_dead_sender_sends_nothing(self):
+        sim, net, hosts = build_net()
+        got = []
+        hosts[1].register_handler(Note, lambda m: got.append(m))
+        net.crash_host(0)
+        hosts[0].send(1, Note())
+        sim.run()
+        assert got == []
+
+    def test_dead_receiver_not_delivered(self):
+        sim, net, hosts = build_net()
+        got = []
+        hosts[1].register_handler(Note, lambda m: got.append(m))
+        net.crash_host(1)
+        hosts[0].send(1, Note())
+        sim.run()
+        assert got == []
+
+    def test_unhandled_message_counted(self):
+        sim, net, hosts = build_net()
+        hosts[0].send(1, Note())
+        sim.run()
+        assert sim.metrics.counter("net.unhandled").value == 1
+
+
+class TestSerializationOverhead:
+    def test_sends_queue_behind_each_other(self):
+        """Back-to-back sends at one node serialize (paper: 2.8 ms per
+        message; the cause of Fig 8's rise at large group sizes)."""
+        overhead = 5.0
+        sim, net, hosts = build_net(
+            transport=TransportConfig(send_overhead_ms=overhead, jitter_fraction=0.0)
+        )
+        arrivals = {}
+        for i in (1, 2, 3, 4):
+            hosts[i].register_handler(Note, lambda m, i=i: arrivals.setdefault(i, sim.now))
+        # Same destination router distance does not matter; the sender-side
+        # queueing shows up as increasing injection times.
+        for i in (1, 2, 3, 4):
+            hosts[0].send(i, Note())
+        sim.run()
+        assert len(arrivals) == 4
+        # Each later message paid at least one more overhead quantum.
+        assert sim.metrics.counter("net.messages").value == 4
+
+
+class TestLossAndBreaks:
+    def test_loss_masked_by_retransmission(self):
+        sim, net, hosts = build_net(transport=TransportConfig())
+        net.topology.set_uniform_loss(0.02)
+        got = []
+        hosts[1].register_handler(Note, lambda m: got.append(m))
+        for _ in range(30):
+            hosts[0].send(1, Note())
+        sim.run()
+        assert len(got) == 30  # ~20% route loss, still everything arrives
+
+    def test_total_blackout_breaks_connection(self):
+        sim, net, hosts = build_net()
+        failures = []
+        net.disconnect_host(1)
+        hosts[0].send(1, Note(), on_fail=lambda dst, msg: failures.append(dst))
+        sim.run()
+        assert failures == [1]
+        assert sim.metrics.counter("net.connection_breaks").value == 1
+
+    def test_break_reported_after_backoff_window(self):
+        cfg = TransportConfig(rto_initial_ms=100, rto_backoff=2.0, max_retries=3)
+        sim, net, hosts = build_net(transport=cfg)
+        net.disconnect_host(1)
+        when = []
+        hosts[0].send(1, Note(), on_fail=lambda *a: when.append(sim.now))
+        sim.run()
+        # 3 retries at 100+200+400 then an 800ms final wait.
+        assert when and when[0] >= 700.0
+
+    def test_connection_cache_purged_on_break(self):
+        sim, net, hosts = build_net()
+        hosts[0].send(1, Note())
+        sim.run()
+        assert net.has_connection(0, 1)
+        net.disconnect_host(1)
+        hosts[0].send(1, Note(), on_fail=lambda *a: None)
+        sim.run()
+        assert not net.has_connection(0, 1)
+
+    def test_partition_blocks_traffic(self):
+        sim, net, hosts = build_net()
+        got, failures = [], []
+        hosts[1].register_handler(Note, lambda m: got.append(m))
+        net.faults.partition([[0], [1]])
+        hosts[0].send(1, Note(), on_fail=lambda *a: failures.append(1))
+        sim.run()
+        assert got == []
+        assert failures == [1]

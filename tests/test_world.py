@@ -1,0 +1,46 @@
+"""Tests for the FuseWorld assembly helper."""
+
+import pytest
+
+from repro import FuseWorld
+from repro.net import MercatorConfig
+
+
+class TestFuseWorld:
+    def test_bootstrap_joins_everyone(self, tiny_world):
+        assert tiny_world.overlay.member_count == len(tiny_world.node_ids)
+
+    def test_mercator_must_cover_nodes(self):
+        with pytest.raises(ValueError):
+            FuseWorld(n_nodes=50, mercator=MercatorConfig(n_hosts=10, n_as=4))
+
+    def test_create_group_sync_reports_latency(self, tiny_world):
+        fid, status, latency = tiny_world.create_group_sync(0, [1])
+        assert status == "ok"
+        assert latency > 0
+
+    def test_restart_rejoins(self, tiny_world):
+        tiny_world.crash(3)
+        tiny_world.run_for_minutes(4)
+        tiny_world.restart(3)
+        tiny_world.run_for_minutes(2)
+        assert tiny_world.overlay.is_member(tiny_world.overlay_node(3).name)
+
+    def test_alive_node_ids(self, tiny_world):
+        tiny_world.crash(5)
+        assert 5 not in tiny_world.alive_node_ids()
+        assert len(tiny_world.alive_node_ids()) == len(tiny_world.node_ids) - 1
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            world = FuseWorld(n_nodes=15, seed=seed, mercator=MercatorConfig(n_hosts=15, n_as=5))
+            world.bootstrap()
+            fid, status, latency = world.create_group_sync(0, [3, 7])
+            return status, latency, world.sim.events_dispatched
+
+        assert run(9) == run(9)
+
+    def test_run_for_minutes_advances_clock(self, tiny_world):
+        start = tiny_world.now
+        tiny_world.run_for_minutes(2)
+        assert tiny_world.now == start + 120_000.0
