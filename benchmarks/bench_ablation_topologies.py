@@ -21,7 +21,7 @@ def test_ablation_topology_scaling(benchmark):
     result = benchmark.pedantic(
         ablation.run_topology_ablation, args=(config,), rounds=1, iterations=1
     )
-    record_result("ablation_topologies", result.format_table())
+    record_result("ablation_topologies", result.format_table(), result.result_set)
 
     counts = sorted({c for _, c in result.load})
     low, high = counts[0], counts[-1]
@@ -47,7 +47,7 @@ def test_ablation_repair_vs_signal(benchmark):
     result = benchmark.pedantic(
         ablation.run_repair_ablation, args=(config,), rounds=1, iterations=1
     )
-    record_result("ablation_repair", result.format_table())
+    record_result("ablation_repair", result.format_table(), result.result_set)
 
     # Repair keeps delegate churn invisible to applications...
     assert result.false_positives["repair-enabled"] == 0

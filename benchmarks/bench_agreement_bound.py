@@ -14,7 +14,7 @@ from repro.experiments import agreement
 def test_agreement_under_adversarial_faults(benchmark):
     config = agreement.AgreementConfig(n_nodes=60, n_groups=20, n_faults=8)
     result = benchmark.pedantic(agreement.run, args=(config,), rounds=1, iterations=1)
-    record_result("agreement_bound", result.format_table())
+    record_result("agreement_bound", result.format_table(), result.result_set)
 
     assert result.groups_affected > 0, "fault schedule touched no groups"
     # The guarantee itself: no live member missed, none heard twice.

@@ -1,0 +1,84 @@
+"""Trial-engine parallel execution: serial vs ``--jobs 4`` wall clock.
+
+The engine's contract is twofold: (1) fanning a figure's independent
+trials across worker processes leaves the aggregate results seed-for-seed
+identical to a serial run, and (2) on a multi-core machine it cuts the
+figure's wall clock roughly by the worker count.  This benchmark checks
+both on a multi-trial figure — eight agreement trials (one adversarial
+fault schedule per seed), the same fan-out ``python -m
+repro.experiments.run agreement --seeds ... --jobs 4`` performs.
+
+The ≥2x speedup assertion only applies where it is physically possible
+(4 or more cores); the determinism assertion applies everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, record_result
+
+from repro.experiments import agreement
+
+JOBS = 4
+SEEDS = [10, 11, 12, 13, 14, 15, 16, 17]
+
+
+def _config() -> agreement.AgreementConfig:
+    return agreement.AgreementConfig(
+        n_nodes=20, n_groups=5, n_faults=3, observe_minutes=12
+    )
+
+
+def test_parallel_speedup_and_determinism(benchmark):
+    started = time.perf_counter()
+    serial = agreement.run(_config(), jobs=1, seeds=SEEDS)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = benchmark.pedantic(
+        agreement.run,
+        args=(_config(),),
+        kwargs={"jobs": JOBS, "seeds": SEEDS},
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = time.perf_counter() - started
+
+    # Contract 1: byte-identical aggregates for the same seeds.
+    assert serial.result_set.to_json(include_timing=False) == parallel.result_set.to_json(
+        include_timing=False
+    )
+    assert serial.format_table() == parallel.format_table()
+    assert serial.agreement_holds and parallel.agreement_holds
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    cores = os.cpu_count() or 1
+    summary = (
+        f"engine parallel fan-out — {len(SEEDS)} agreement trials\n"
+        f"serial:   {serial_seconds:.2f}s\n"
+        f"jobs={JOBS}:   {parallel_seconds:.2f}s\n"
+        f"speedup:  {speedup:.2f}x on {cores} core(s)"
+    )
+    record_result("engine_parallel_speedup", summary, parallel.result_set)
+    (RESULTS_DIR / "engine_parallel_speedup.json").write_text(
+        json.dumps(
+            {
+                "trials": len(SEEDS),
+                "jobs": JOBS,
+                "cores": cores,
+                "serial_seconds": round(serial_seconds, 3),
+                "parallel_seconds": round(parallel_seconds, 3),
+                "speedup": round(speedup, 2),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Contract 2: ≥2x wall-clock win at --jobs 4, where the hardware
+    # can deliver it (8 trials over 4 workers = 2 rounds vs 8 serial).
+    if cores >= JOBS:
+        assert speedup >= 2.0, summary

@@ -3,7 +3,14 @@
 Paper bars: 238 msg/s stable, 270 msg/s under churn (+13 %), 523 msg/s
 churn + 100 FUSE groups (+94 %); churn causes repair traffic but zero
 false positives.
+
+The churn-vs-stable delta is a small effect (+13 % at paper scale) and
+is noise-sensitive at this scaled-down config, so the benchmark
+replicates the measurement over two base seeds through the trial engine
+and asserts on the seed-averaged rates.
 """
+
+import os
 
 from conftest import record_result
 
@@ -14,8 +21,14 @@ def test_fig10_churn_load(benchmark):
     config = churn.ChurnConfig(
         n_stable=50, n_churning=50, n_groups=30, group_size=10, window_minutes=8.0
     )
-    result = benchmark.pedantic(churn.run, args=(config,), rounds=1, iterations=1)
-    record_result("fig10_churn_load", result.format_table())
+    result = benchmark.pedantic(
+        churn.run,
+        args=(config,),
+        kwargs={"seeds": [7, 15], "jobs": min(3, os.cpu_count() or 1)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig10_churn_load", result.format_table(), result.result_set)
 
     # Shape 1: churn adds overlay repair traffic.
     assert result.churn_msgs_per_sec > result.stable_msgs_per_sec

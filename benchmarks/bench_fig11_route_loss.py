@@ -14,7 +14,7 @@ from repro.experiments import loss_rates
 def test_fig11_route_loss(benchmark):
     config = loss_rates.LossRatesConfig(n_hosts=400, n_pairs=600)
     result = benchmark.pedantic(loss_rates.run, args=(config,), rounds=1, iterations=1)
-    record_result("fig11_route_loss", result.format_table())
+    record_result("fig11_route_loss", result.format_table(), result.result_set)
 
     medians = {
         per_link: cdf.value_at_fraction(0.5)

@@ -17,7 +17,7 @@ def test_fig12_false_positives(benchmark):
     result = benchmark.pedantic(
         false_positives.run, args=(config,), rounds=1, iterations=1
     )
-    record_result("fig12_false_positives", result.format_table())
+    record_result("fig12_false_positives", result.format_table(), result.result_set)
 
     sizes = sorted({size for (_pl, size) in result.outcomes})
     # Shape 1: no failures at all with no loss or the lowest loss rate.

@@ -13,7 +13,7 @@ from repro.experiments import calibration
 def test_fig6_rpc_calibration(benchmark):
     config = calibration.CalibrationConfig(n_hosts=100, n_pairs=250)
     result = benchmark.pedantic(calibration.run, args=(config,), rounds=1, iterations=1)
-    record_result("fig6_rpc_calibration", result.format_table())
+    record_result("fig6_rpc_calibration", result.format_table(), result.result_set)
 
     median_first = result.first.value_at_fraction(0.5)
     median_second = result.second.value_at_fraction(0.5)

@@ -14,7 +14,7 @@ def test_fig7_creation_latency(benchmark):
     result = benchmark.pedantic(
         creation_latency.run, args=(config,), rounds=1, iterations=1
     )
-    record_result("fig7_creation_latency", result.format_table())
+    record_result("fig7_creation_latency", result.format_table(), result.result_set)
 
     assert result.failures == 0
     medians = {size: hist.pct(50) for size, hist in result.by_size.items()}

@@ -15,7 +15,7 @@ def test_fig8_notification_latency(benchmark):
     result = benchmark.pedantic(
         notification_latency.run, args=(config,), rounds=1, iterations=1
     )
-    record_result("fig8_notification_latency", result.format_table())
+    record_result("fig8_notification_latency", result.format_table(), result.result_set)
 
     # Shape 1: every member of every group heard the notification, fast —
     # the per-group max stays well under the liveness timeout.

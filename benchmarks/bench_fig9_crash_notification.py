@@ -17,7 +17,7 @@ def test_fig9_crash_notification(benchmark):
     result = benchmark.pedantic(
         crash_notification.run, args=(config,), rounds=1, iterations=1
     )
-    record_result("fig9_crash_notification", result.format_table())
+    record_result("fig9_crash_notification", result.format_table(), result.result_set)
 
     # Shape 1: guaranteed delivery — every live member of every affected
     # group was notified.

@@ -16,7 +16,7 @@ def test_sec4_svtree_group_sizes(benchmark):
         n_nodes=100, n_topics=4, subscribers_per_topic=25
     )
     result = benchmark.pedantic(svtree_stats.run, args=(config,), rounds=1, iterations=1)
-    record_result("sec4_svtree_groups", result.format_table())
+    record_result("sec4_svtree_groups", result.format_table(), result.result_set)
 
     assert len(result.sizes) > 0
     # Shape 1: groups are small on average (paper: 2.9) — single digits.

@@ -15,7 +15,7 @@ def test_sec75_steady_state(benchmark):
         n_nodes=100, n_groups=100, group_size=10, window_minutes=10.0
     )
     result = benchmark.pedantic(steady_state.run, args=(config,), rounds=1, iterations=1)
-    record_result("sec75_steady_state", result.format_table())
+    record_result("sec75_steady_state", result.format_table(), result.result_set)
 
     assert result.groups_created == config.n_groups
     # The headline number: message overhead within a percent of zero

@@ -1,0 +1,44 @@
+"""Shared trial engine: declarative sweeps, multi-core execution, unified
+aggregation.
+
+Every experiment in :mod:`repro.experiments` is expressed as:
+
+1. a **trial function** — a module-level callable building one isolated
+   world from a :class:`TrialSpec` and returning a measurements dict
+   (:mod:`repro.engine.trial`);
+2. a **sweep** — the parameter grid × seed replication that expands into
+   trial specs (:mod:`repro.engine.sweep`);
+3. an **executor** call — serial loop or multiprocessing fan-out with
+   identical results either way (:mod:`repro.engine.parallel`);
+4. an **aggregation** step over the returned :class:`ResultSet`
+   (:mod:`repro.engine.results`).
+
+Minimal use::
+
+    from repro.engine import ResultSet, Sweep, run_trials
+
+    def _trial(spec):
+        world = build_world(seed=spec.seed, size=spec["size"])
+        return {"latency_ms": measure(world)}
+
+    specs = Sweep(grid={"size": (2, 4, 8)}, seeds=(1, 2)).expand("demo")
+    rs = ResultSet(run_trials(_trial, specs, jobs=4))
+    print(rs.format_table())
+"""
+
+from repro.engine.parallel import run_trials
+from repro.engine.results import ResultSet
+from repro.engine.sweep import Sweep, derive_seed
+from repro.engine.trial import Measurements, TrialFn, TrialResult, TrialSpec, run_trial
+
+__all__ = [
+    "Measurements",
+    "ResultSet",
+    "Sweep",
+    "TrialFn",
+    "TrialResult",
+    "TrialSpec",
+    "derive_seed",
+    "run_trial",
+    "run_trials",
+]

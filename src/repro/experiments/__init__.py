@@ -3,8 +3,13 @@ evaluation (§7) plus the §4 application statistics.
 
 Each module exposes a config dataclass (with a scaled-down default that
 runs in seconds and a ``paper_scale()`` preset matching the paper's
-parameters) and a ``run(...)`` function returning a result object with
-``rows()`` and ``format_table()``.  The benchmarks/ directory wraps each
+parameters), a module-level trial function plus ``sweep()`` declaration
+for the shared trial engine (:mod:`repro.engine`), and a
+``run(config, *, jobs=1, seeds=None)`` function returning a result
+object with ``rows()``, ``format_table()``, and a ``result_set``
+(:class:`repro.engine.ResultSet`) for JSON archiving.  ``jobs`` fans the
+sweep's independent trials across worker processes with aggregate
+results identical to a serial run.  The benchmarks/ directory wraps each
 driver in a pytest-benchmark target; EXPERIMENTS.md records the
 paper-vs-measured comparison.
 

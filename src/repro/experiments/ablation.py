@@ -11,13 +11,18 @@ Two studies the paper argues qualitatively, measured here:
 2. **Repair ablation** (§6 intro): with repair disabled, delegate
    failures convert directly into group failures; the paper chose repair
    precisely to avoid these false positives.
+
+Engine decomposition: the topology study is a ``topology × n_groups``
+grid (one world per cell), the repair study a two-point grid over
+``repair_enabled`` — the widest fan-outs in the suite.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
 from repro.fuse.config import FuseConfig
 from repro.fuse.topologies import (
@@ -31,6 +36,11 @@ from repro.net import MercatorConfig, Network, build_mercator_topology
 from repro.net.node import Host
 from repro.sim import Simulator
 from repro.world import FuseWorld
+
+TOPOLOGY_EXPERIMENT = "ablation-topologies"
+REPAIR_EXPERIMENT = "ablation-repair"
+
+TOPOLOGIES = ("overlay (paper)", "direct-tree", "all-to-all", "central")
 
 
 @dataclass
@@ -46,6 +56,7 @@ class TopologyAblationResult:
     def __init__(self) -> None:
         # (topology, n_groups) -> msgs/sec
         self.load: Dict[Tuple[str, int], float] = {}
+        self.result_set: Optional[ResultSet] = None
 
     def rows(self) -> List[Tuple]:
         topologies = sorted({t for t, _ in self.load})
@@ -66,6 +77,21 @@ class TopologyAblationResult:
         )
 
 
+def _run_overlay(n_nodes: int, n_groups: int, group_size: int,
+                 window_ms: float, seed: int) -> float:
+    """The paper's implementation: FUSE trees over the SkipNet overlay."""
+    world = FuseWorld(n_nodes=n_nodes, seed=seed)
+    world.bootstrap()
+    rng = world.sim.rng.stream("ablation-groups")
+    for _ in range(n_groups):
+        root, *members = rng.sample(world.node_ids, group_size)
+        world.create_group_sync(root, members)
+    world.run_for_minutes(1.0)
+    world.sim.metrics.reset_counters()
+    world.run_for(window_ms)
+    return world.sim.metrics.counter("net.messages").rate_per_second(window_ms)
+
+
 def _run_alternative(kind: str, n_nodes: int, n_groups: int, group_size: int,
                      window_ms: float, seed: int) -> float:
     sim = Simulator(seed=seed)
@@ -83,7 +109,6 @@ def _run_alternative(kind: str, n_nodes: int, n_groups: int, group_size: int,
     else:
         services = [AllToAllFuse(h, cfg) for h in hosts[:-1]]
     rng = sim.rng.stream("ablation-groups")
-    created = []
     for _ in range(n_groups):
         indices = rng.sample(range(len(services)), group_size)
         root, members = indices[0], [hosts[i].node_id for i in indices[1:]]
@@ -91,37 +116,50 @@ def _run_alternative(kind: str, n_nodes: int, n_groups: int, group_size: int,
         services[root].create_group(members, lambda fid, st: done.append(st))
         while not done and sim.step():
             pass
-        created.append(done and done[0] == "ok")
     sim.metrics.reset_counters()
     sim.run(until=sim.now + window_ms)
     return sim.metrics.counter("net.messages").rate_per_second(window_ms)
 
 
-def run_topology_ablation(
-    config: TopologyAblationConfig = TopologyAblationConfig(),
-) -> TopologyAblationResult:
-    result = TopologyAblationResult()
+def _topology_trial(spec: TrialSpec) -> Measurements:
+    config: TopologyAblationConfig = spec.context
+    kind = spec["topology"]
+    n_groups = spec["n_groups"]
     window_ms = config.window_minutes * 60_000.0
+    if kind == "overlay (paper)":
+        rate = _run_overlay(
+            config.n_nodes, n_groups, config.group_size, window_ms, spec.seed
+        )
+    else:
+        rate = _run_alternative(
+            kind, config.n_nodes, n_groups, config.group_size, window_ms, spec.seed
+        )
+    return {"msgs_per_sec": rate}
 
-    for n_groups in config.group_counts:
-        # Overlay implementation (the paper's): load should stay flat.
-        world = FuseWorld(n_nodes=config.n_nodes, seed=config.seed)
-        world.bootstrap()
-        rng = world.sim.rng.stream("ablation-groups")
-        for _ in range(n_groups):
-            root, *members = rng.sample(world.node_ids, config.group_size)
-            world.create_group_sync(root, members)
-        world.run_for_minutes(1.0)
-        world.sim.metrics.reset_counters()
-        world.run_for(window_ms)
-        result.load[("overlay (paper)", n_groups)] = world.sim.metrics.counter(
-            "net.messages"
-        ).rate_per_second(window_ms)
 
-        for kind in ("direct-tree", "all-to-all", "central"):
-            result.load[(kind, n_groups)] = _run_alternative(
-                kind, config.n_nodes, n_groups, config.group_size, window_ms, config.seed
-            )
+def topology_sweep(
+    config: TopologyAblationConfig, seeds: Optional[Sequence[int]] = None
+) -> Sweep:
+    return Sweep(
+        grid={"topology": TOPOLOGIES, "n_groups": tuple(config.group_counts)},
+        seeds=tuple(seeds) if seeds else (config.seed,),
+    )
+
+
+def run_topology_ablation(
+    config: Optional[TopologyAblationConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> TopologyAblationResult:
+    config = config or TopologyAblationConfig()
+    specs = topology_sweep(config, seeds).expand(TOPOLOGY_EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_topology_trial, specs, jobs=jobs), experiment=TOPOLOGY_EXPERIMENT)
+    result = TopologyAblationResult()
+    for topology, by_topology in rs.group_by("topology").items():
+        for n_groups, cell in by_topology.group_by("n_groups").items():
+            result.load[(topology, n_groups)] = cell.mean("msgs_per_sec")
+    result.result_set = rs
     return result
 
 
@@ -139,6 +177,7 @@ class RepairAblationResult:
     def __init__(self) -> None:
         self.false_positives: Dict[str, int] = {}
         self.groups: Dict[str, int] = {}
+        self.result_set: Optional[ResultSet] = None
 
     def rows(self) -> List[Tuple]:
         return [
@@ -155,52 +194,74 @@ class RepairAblationResult:
         )
 
 
-def run_repair_ablation(
-    config: RepairAblationConfig = RepairAblationConfig(),
-) -> RepairAblationResult:
-    result = RepairAblationResult()
-    for mode, repair in [("repair-enabled", True), ("repair-disabled", False)]:
-        world = FuseWorld(
-            n_nodes=config.n_nodes,
-            seed=config.seed,
-            fuse_config=FuseConfig(repair_enabled=repair),
+def _repair_trial(spec: TrialSpec) -> Measurements:
+    config: RepairAblationConfig = spec.context
+    world = FuseWorld(
+        n_nodes=config.n_nodes,
+        seed=spec.seed,
+        fuse_config=FuseConfig(repair_enabled=spec["repair_enabled"]),
+    )
+    world.bootstrap()
+    rng = world.sim.rng.stream("repair-ablation")
+    group_members: List[Tuple[str, List[int]]] = []
+    stable = world.node_ids[: config.n_nodes // 2]
+    for _ in range(config.n_groups):
+        root, *members = rng.sample(stable, config.group_size)
+        fid, status, _ = world.create_group_sync(root, members)
+        if status == "ok":
+            group_members.append((fid, [root] + members))
+    world.run_for_minutes(1.0)
+    fids = {fid for fid, _m in group_members}
+    member_nodes = {m for _fid, members in group_members for m in members}
+    for _ in range(config.churn_events):
+        # Crash a node that is currently a *delegate* (holds checking
+        # state for one of our groups without being a member of it).
+        delegates = sorted(
+            nid
+            for nid in world.node_ids
+            if nid not in member_nodes
+            and world.host(nid).alive
+            and any(f in fids for f in world.fuse(nid).groups)
         )
-        world.bootstrap()
-        rng = world.sim.rng.stream("repair-ablation")
-        group_members: List[Tuple[str, List[int]]] = []
-        stable = world.node_ids[: config.n_nodes // 2]
-        for _ in range(config.n_groups):
-            root, *members = rng.sample(stable, config.group_size)
-            fid, status, _ = world.create_group_sync(root, members)
-            if status == "ok":
-                group_members.append((fid, [root] + members))
-        result.groups[mode] = len(group_members)
-        world.run_for_minutes(1.0)
-        fids = {fid for fid, _m in group_members}
-        member_nodes = {m for _fid, members in group_members for m in members}
-        for _ in range(config.churn_events):
-            # Crash a node that is currently a *delegate* (holds checking
-            # state for one of our groups without being a member of it).
-            delegates = sorted(
-                nid
-                for nid in world.node_ids
-                if nid not in member_nodes
-                and world.host(nid).alive
-                and any(f in fids for f in world.fuse(nid).groups)
-            )
-            if not delegates:
-                world.run_for_minutes(config.observe_minutes / config.churn_events)
-                continue
-            victim = rng.choice(delegates)
-            world.crash(victim)
+        if not delegates:
             world.run_for_minutes(config.observe_minutes / config.churn_events)
-            world.restart(victim)
-            world.run_for_minutes(1.0)
-        world.run_for_minutes(2.0)
-        fp = sum(
-            1
-            for fid, members in group_members
-            if any(fid in world.fuse(m).notifications for m in members)
-        )
-        result.false_positives[mode] = fp
+            continue
+        victim = rng.choice(delegates)
+        world.crash(victim)
+        world.run_for_minutes(config.observe_minutes / config.churn_events)
+        world.restart(victim)
+        world.run_for_minutes(1.0)
+    world.run_for_minutes(2.0)
+    false_positives = sum(
+        1
+        for fid, members in group_members
+        if any(fid in world.fuse(m).notifications for m in members)
+    )
+    return {"groups": len(group_members), "false_positives": false_positives}
+
+
+def repair_sweep(
+    config: RepairAblationConfig, seeds: Optional[Sequence[int]] = None
+) -> Sweep:
+    return Sweep(
+        grid={"repair_enabled": (True, False)},
+        seeds=tuple(seeds) if seeds else (config.seed,),
+    )
+
+
+def run_repair_ablation(
+    config: Optional[RepairAblationConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> RepairAblationResult:
+    config = config or RepairAblationConfig()
+    specs = repair_sweep(config, seeds).expand(REPAIR_EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_repair_trial, specs, jobs=jobs), experiment=REPAIR_EXPERIMENT)
+    result = RepairAblationResult()
+    for enabled, subset in rs.group_by("repair_enabled").items():
+        mode = "repair-enabled" if enabled else "repair-disabled"
+        result.groups[mode] = int(subset.total("groups"))
+        result.false_positives[mode] = int(subset.total("false_positives"))
+    result.result_set = rs
     return result

@@ -9,16 +9,23 @@ all fault classes, and a check that (a) every live member of every
 affected group was notified, (b) no handler fired twice, and (c) the
 worst-case latency stays within the analytic bound (detection window +
 member repair timeout + root repair timeout + propagation slack).
+
+Engine decomposition: one trial per base seed — each seed draws an
+independent adversarial schedule, so ``--seeds 1,2,3,...`` fans the
+verdict over many schedules concurrently.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
 from repro.sim.metrics import Histogram
 from repro.world import FuseWorld
+
+EXPERIMENT = "agreement"
 
 
 @dataclass
@@ -38,6 +45,7 @@ class AgreementResult:
         self.notifications = Histogram("agreement-latency-min")
         self.missed: List[Tuple[str, int]] = []
         self.duplicates: List[Tuple[str, int]] = []
+        self.result_set: Optional[ResultSet] = None
 
     @property
     def agreement_holds(self) -> bool:
@@ -64,8 +72,9 @@ class AgreementResult:
         )
 
 
-def run(config: AgreementConfig = AgreementConfig()) -> AgreementResult:
-    world = FuseWorld(n_nodes=config.n_nodes, seed=config.seed)
+def _trial(spec: TrialSpec) -> Measurements:
+    config: AgreementConfig = spec.context
+    world = FuseWorld(n_nodes=config.n_nodes, seed=spec.seed)
     world.bootstrap()
     rng = world.sim.rng.stream("agreement-faults")
 
@@ -80,7 +89,6 @@ def run(config: AgreementConfig = AgreementConfig()) -> AgreementResult:
         + cfg.repair_backoff_cap_ms
         + 30_000.0
     )
-    result = AgreementResult(bound_minutes=bound_ms / 60_000.0)
 
     groups: List[Tuple[str, List[int]]] = []
     fire_counts: Dict[Tuple[str, int], int] = {}
@@ -109,7 +117,7 @@ def run(config: AgreementConfig = AgreementConfig()) -> AgreementResult:
     t0 = world.now
     victims: Set[int] = set()
     all_members = sorted({m for _fid, members in groups for m in members})
-    for i in range(config.n_faults):
+    for _ in range(config.n_faults):
         kind = rng.choice(["crash", "disconnect", "intransitive", "partition"])
         when = world.now + rng.uniform(0.0, 120_000.0)
         if kind == "crash" and all_members:
@@ -139,21 +147,61 @@ def run(config: AgreementConfig = AgreementConfig()) -> AgreementResult:
     world.run_for_minutes(config.observe_minutes)
 
     # Verdict: every live member of every affected group heard exactly once.
+    # Violations are encoded as flat "fid:node" strings to honor the
+    # engine's scalar-or-flat-list measurement contract.
+    groups_affected = 0
+    missed: List[str] = []
+    duplicates: List[str] = []
+    latency_min: List[float] = []
     for fid, members in groups:
         affected = any((fid, node) in fire_times for node in members) or any(
             m in victims for m in members
         )
         if not affected:
             continue
-        result.groups_affected += 1
+        groups_affected += 1
         for node in members:
             if not world.host(node).alive:
                 continue  # crashed processes are exempt (fail-stop)
             count = fire_counts[(fid, node)]
             if count == 0:
-                result.missed.append((fid, node))
+                missed.append(f"{fid}:{node}")
             elif count > 1:
-                result.duplicates.append((fid, node))
+                duplicates.append(f"{fid}:{node}")
             else:
-                result.notifications.add((fire_times[(fid, node)] - t0) / 60_000.0)
+                latency_min.append((fire_times[(fid, node)] - t0) / 60_000.0)
+    return {
+        "bound_minutes": bound_ms / 60_000.0,
+        "groups_affected": groups_affected,
+        "missed": missed,
+        "duplicates": duplicates,
+        "latency_min": latency_min,
+    }
+
+
+def sweep(config: AgreementConfig, seeds: Optional[Sequence[int]] = None) -> Sweep:
+    return Sweep(seeds=tuple(seeds) if seeds else (config.seed,))
+
+
+def run(
+    config: Optional[AgreementConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> AgreementResult:
+    config = config or AgreementConfig()
+    specs = sweep(config, seeds).expand(EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_trial, specs, jobs=jobs), experiment=EXPERIMENT)
+    bounds = rs.scalars("bound_minutes")
+    result = AgreementResult(bound_minutes=max(bounds) if bounds else 0.0)
+    result.groups_affected = int(rs.total("groups_affected"))
+
+    def decode(entry: str) -> Tuple[str, int]:
+        fid, _, node = entry.rpartition(":")
+        return (fid, int(node))
+
+    result.missed = [decode(e) for e in rs.samples("missed")]
+    result.duplicates = [decode(e) for e in rs.samples("duplicates")]
+    result.notifications.extend(rs.samples("latency_min"))
+    result.result_set = rs
     return result

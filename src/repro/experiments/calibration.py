@@ -11,17 +11,24 @@ Our equivalent three series over the same synthetic Mercator topology:
 connection), and *topology RTT* (the pure two-way path latency the
 simulator curve represents).  The expected shape: second ≈ RTT and
 first ≈ 2 × second.
+
+Engine decomposition: one trial per base seed; each trial builds its own
+world and measures ``n_pairs`` RPC pairs.  Extra seeds replicate the
+whole measurement and their samples merge into the reported CDFs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List, Optional, Sequence
 
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_cdf, format_table
 from repro.net import MercatorConfig, Network, build_mercator_topology
 from repro.net.node import Host, RpcReply, RpcRequest
 from repro.sim import CdfSeries, Simulator
+
+EXPERIMENT = "fig6"
 
 
 class _CalPing(RpcRequest):
@@ -48,6 +55,7 @@ class CalibrationResult:
         self.first = first
         self.second = second
         self.rtt = rtt
+        self.result_set: Optional[ResultSet] = None
 
     def rows(self) -> List[tuple]:
         out = []
@@ -79,8 +87,9 @@ class CalibrationResult:
         return table + "\n" + cdfs
 
 
-def run(config: CalibrationConfig = CalibrationConfig()) -> CalibrationResult:
-    sim = Simulator(seed=config.seed)
+def _trial(spec: TrialSpec) -> Measurements:
+    config: CalibrationConfig = spec.context
+    sim = Simulator(seed=spec.seed)
     topo, host_ids = build_mercator_topology(
         MercatorConfig.scaled_for_hosts(config.n_hosts), sim.rng.stream("topology")
     )
@@ -89,14 +98,14 @@ def run(config: CalibrationConfig = CalibrationConfig()) -> CalibrationResult:
     for host in hosts.values():
         host.register_handler(_CalPing, lambda m, h=host: h.respond(m, _CalPong()))
 
-    first = CdfSeries("first-rpc")
-    second = CdfSeries("second-rpc")
-    rtt = CdfSeries("topology-rtt")
+    first: List[float] = []
+    second: List[float] = []
+    rtt: List[float] = []
     rng = sim.rng.stream("calibration-pairs")
 
     for _ in range(config.n_pairs):
         a, b = rng.sample(host_ids, 2)
-        rtt.add(net.routes.rtt(a, b))
+        rtt.append(net.routes.rtt(a, b))
         for series in (first, second):
             start = sim.now
             done = []
@@ -104,7 +113,7 @@ def run(config: CalibrationConfig = CalibrationConfig()) -> CalibrationResult:
                 b,
                 _CalPing(),
                 timeout_ms=60_000.0,
-                on_reply=lambda _r, s=series, t0=start: (done.append(1), s.add(sim.now - t0)),
+                on_reply=lambda _r, s=series, t0=start: (done.append(1), s.append(sim.now - t0)),
                 on_failure=lambda why: done.append(why),
             )
             while not done and sim.step():
@@ -114,4 +123,26 @@ def run(config: CalibrationConfig = CalibrationConfig()) -> CalibrationResult:
         # Forget the cached connection so the next pair's 'first' is cold.
         net._break_connection(a, b)
 
-    return CalibrationResult(first, second, rtt)
+    return {"first_ms": first, "second_ms": second, "rtt_ms": rtt}
+
+
+def sweep(config: CalibrationConfig, seeds: Optional[Sequence[int]] = None) -> Sweep:
+    return Sweep(seeds=tuple(seeds) if seeds else (config.seed,))
+
+
+def run(
+    config: Optional[CalibrationConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> CalibrationResult:
+    config = config or CalibrationConfig()
+    specs = sweep(config, seeds).expand(EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_trial, specs, jobs=jobs), experiment=EXPERIMENT)
+    result = CalibrationResult(
+        rs.cdf("first_ms", "first-rpc"),
+        rs.cdf("second_ms", "second-rpc"),
+        rs.cdf("rtt_ms", "topology-rtt"),
+    )
+    result.result_set = rs
+    return result

@@ -13,15 +13,24 @@ The FUSE increase is group repair traffic: churn moves overlay routes, so
 liveness-checking trees must be reinstalled, repeatedly.  The shape to
 reproduce: churn alone adds a modest percentage; churn + FUSE roughly
 doubles the message rate; and no FUSE group suffers a false positive.
+
+Engine decomposition: the three measurements are a three-point grid over
+``scenario`` — each builds its own world, so they regenerate concurrently
+under ``--jobs``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.world import FuseWorld
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
+from repro.world import FuseWorld
+
+EXPERIMENT = "fig10"
+
+SCENARIOS = ("stable", "churn", "churn-fuse")
 
 
 @dataclass
@@ -46,6 +55,7 @@ class ChurnResult:
         self.churn_fuse_msgs_per_sec: float = 0.0
         self.false_positives: int = 0
         self.groups_created: int = 0
+        self.result_set: Optional[ResultSet] = None
 
     def rows(self) -> List[Tuple]:
         churn_pct = (
@@ -105,53 +115,76 @@ def _start_churn(world: FuseWorld, churners: List[int], half_life_ms: float, sto
         schedule_flip(node)
 
 
-def run(config: ChurnConfig = ChurnConfig()) -> ChurnResult:
-    result = ChurnResult()
+def _trial(spec: TrialSpec) -> Measurements:
+    config: ChurnConfig = spec.context
+    scenario = spec["scenario"]
     window_ms = config.window_minutes * 60_000.0
     half_life_ms = config.half_life_minutes * 60_000.0
 
-    # ---- Measurement 1: stable overlay sized like the churn average ----
-    n_avg = config.n_stable + config.n_churning // 2
-    world1 = FuseWorld(n_nodes=n_avg, seed=config.seed)
-    world1.bootstrap()
-    world1.sim.metrics.reset_counters()
-    world1.run_for(window_ms)
-    result.stable_msgs_per_sec = world1.sim.metrics.counter("net.messages").rate_per_second(window_ms)
+    if scenario == "stable":
+        # Stable overlay sized like the churn average.
+        n_avg = config.n_stable + config.n_churning // 2
+        world = FuseWorld(n_nodes=n_avg, seed=spec.seed)
+        world.bootstrap()
+        world.sim.metrics.reset_counters()
+        world.run_for(window_ms)
+        rate = world.sim.metrics.counter("net.messages").rate_per_second(window_ms)
+        return {"msgs_per_sec": rate, "false_positives": 0, "groups_created": 0}
 
-    # ---- Measurement 2: churning overlay, no FUSE ----
-    world2 = FuseWorld(n_nodes=config.n_stable + config.n_churning, seed=config.seed + 1)
-    world2.bootstrap()
-    churners2 = world2.node_ids[config.n_stable :]
+    world = FuseWorld(n_nodes=config.n_stable + config.n_churning, seed=spec.seed)
+    world.bootstrap()
+    stable = world.node_ids[: config.n_stable]
+    churners = world.node_ids[config.n_stable :]
+
+    groups_created = 0
+    notified: List[str] = []
+    if scenario == "churn-fuse":
+        rng = world.sim.rng.stream("churn-groups")
+        for _ in range(config.n_groups):
+            root, *members = rng.sample(stable, config.group_size)
+            fid, status, _ = world.create_group_sync(root, members)
+            if status == "ok":
+                groups_created += 1
+                world.fuse(root).observe_notifications(
+                    lambda f, reason, fid=fid: notified.append(f) if f == fid else None
+                )
+
     # Pre-kill half the churners so the average population holds.
-    for node in churners2[::2]:
-        world2.crash(node)
-    world2.run_for_minutes(3.0)
-    _start_churn(world2, churners2, half_life_ms, stop_at=world2.now + window_ms + 1)
-    world2.sim.metrics.reset_counters()
-    world2.run_for(window_ms)
-    result.churn_msgs_per_sec = world2.sim.metrics.counter("net.messages").rate_per_second(window_ms)
+    for node in churners[::2]:
+        world.crash(node)
+    world.run_for_minutes(3.0)
+    _start_churn(world, churners, half_life_ms, stop_at=world.now + window_ms + 1)
+    world.sim.metrics.reset_counters()
+    world.run_for(window_ms)
+    rate = world.sim.metrics.counter("net.messages").rate_per_second(window_ms)
+    return {
+        "msgs_per_sec": rate,
+        "false_positives": len(set(notified)),
+        "groups_created": groups_created,
+    }
 
-    # ---- Measurement 3: churning overlay + FUSE groups on stable nodes ----
-    world3 = FuseWorld(n_nodes=config.n_stable + config.n_churning, seed=config.seed + 2)
-    world3.bootstrap()
-    stable3 = world3.node_ids[: config.n_stable]
-    churners3 = world3.node_ids[config.n_stable :]
-    rng = world3.sim.rng.stream("churn-groups")
-    notified = []
-    for _ in range(config.n_groups):
-        root, *members = rng.sample(stable3, config.group_size)
-        fid, status, _ = world3.create_group_sync(root, members)
-        if status == "ok":
-            result.groups_created += 1
-            world3.fuse(root).observe_notifications(
-                lambda f, reason, fid=fid: notified.append(f) if f == fid else None
-            )
-    for node in churners3[::2]:
-        world3.crash(node)
-    world3.run_for_minutes(3.0)
-    _start_churn(world3, churners3, half_life_ms, stop_at=world3.now + window_ms + 1)
-    world3.sim.metrics.reset_counters()
-    world3.run_for(window_ms)
-    result.churn_fuse_msgs_per_sec = world3.sim.metrics.counter("net.messages").rate_per_second(window_ms)
-    result.false_positives = len(set(notified))
+
+def sweep(config: ChurnConfig, seeds: Optional[Sequence[int]] = None) -> Sweep:
+    return Sweep(
+        grid={"scenario": SCENARIOS},
+        seeds=tuple(seeds) if seeds else (config.seed,),
+    )
+
+
+def run(
+    config: Optional[ChurnConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> ChurnResult:
+    config = config or ChurnConfig()
+    specs = sweep(config, seeds).expand(EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_trial, specs, jobs=jobs), experiment=EXPERIMENT)
+    result = ChurnResult()
+    result.stable_msgs_per_sec = rs.where(scenario="stable").mean("msgs_per_sec")
+    result.churn_msgs_per_sec = rs.where(scenario="churn").mean("msgs_per_sec")
+    result.churn_fuse_msgs_per_sec = rs.where(scenario="churn-fuse").mean("msgs_per_sec")
+    result.false_positives = int(rs.total("false_positives"))
+    result.groups_created = int(rs.total("groups_created"))
+    result.result_set = rs
     return result

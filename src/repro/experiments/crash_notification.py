@@ -11,16 +11,24 @@ put first detection uniformly in 20-80 s; the repair attempt then has to
 fail (member timeout 1 min, root timeout 2 min) before HardNotifications
 flow, so the CDF spans roughly 0.5 to 4 minutes and is dominated by the
 two timeouts rather than by propagation.
+
+Engine decomposition: one trial per base seed — each replica runs the
+whole disconnect scenario in its own world, and replicas' notification
+CDFs merge.  ``run(..., seeds=[...])`` (or ``--seeds`` on the CLI) turns
+this figure into an embarrassingly parallel fan-out.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_cdf, format_table
 from repro.sim import CdfSeries
 from repro.world import FuseWorld
+
+EXPERIMENT = "fig9"
 
 
 @dataclass
@@ -44,6 +52,7 @@ class CrashResult:
         self.groups_affected = 0
         self.notifications_expected = 0
         self.notifications_delivered = 0
+        self.result_set: Optional[ResultSet] = None
 
     def rows(self) -> List[Tuple]:
         rows = [
@@ -71,11 +80,11 @@ class CrashResult:
         return table
 
 
-def run(config: CrashConfig = CrashConfig()) -> CrashResult:
-    world = FuseWorld(n_nodes=config.n_nodes, seed=config.seed)
+def _trial(spec: TrialSpec) -> Measurements:
+    config: CrashConfig = spec.context
+    world = FuseWorld(n_nodes=config.n_nodes, seed=spec.seed)
     world.bootstrap()
     rng = world.sim.rng.stream("crash-workload")
-    result = CrashResult()
 
     groups: List[Tuple[str, List[int]]] = []
     for _ in range(config.n_groups):
@@ -83,7 +92,6 @@ def run(config: CrashConfig = CrashConfig()) -> CrashResult:
         fid, status, _ = world.create_group_sync(root, members)
         if status == "ok":
             groups.append((fid, [root] + members))
-    result.groups_created = len(groups)
 
     # Let liveness checking settle into steady state.
     world.run_for_minutes(2.0)
@@ -106,8 +114,7 @@ def run(config: CrashConfig = CrashConfig()) -> CrashResult:
                 if f == fid
                 else None
             )
-    result.groups_affected = len(affected)
-    result.notifications_expected = sum(
+    expected = sum(
         sum(1 for m in members if m not in victims) for _fid, members in affected
     )
 
@@ -115,7 +122,33 @@ def run(config: CrashConfig = CrashConfig()) -> CrashResult:
         world.disconnect(victim)
     world.run_for_minutes(config.observe_minutes)
 
-    result.notifications_delivered = len(times)
-    for (_fid, _node), when in times.items():
-        result.latency.add((when - t0) / 60_000.0)
+    return {
+        "groups_created": len(groups),
+        "groups_affected": len(affected),
+        "notifications_expected": expected,
+        "notifications_delivered": len(times),
+        "latency_min": [(when - t0) / 60_000.0 for when in times.values()],
+    }
+
+
+def sweep(config: CrashConfig, seeds: Optional[Sequence[int]] = None) -> Sweep:
+    return Sweep(seeds=tuple(seeds) if seeds else (config.seed,))
+
+
+def run(
+    config: Optional[CrashConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> CrashResult:
+    config = config or CrashConfig()
+    specs = sweep(config, seeds).expand(EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_trial, specs, jobs=jobs), experiment=EXPERIMENT)
+    result = CrashResult()
+    result.latency = rs.cdf("latency_min", "crash-notification-minutes")
+    result.groups_created = int(rs.total("groups_created"))
+    result.groups_affected = int(rs.total("groups_affected"))
+    result.notifications_expected = int(rs.total("notifications_expected"))
+    result.notifications_delivered = int(rs.total("notifications_delivered"))
+    result.result_set = rs
     return result

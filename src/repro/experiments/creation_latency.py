@@ -6,16 +6,23 @@ distributed over a 400-node overlay, 20 groups per size; reported as
 a bigger group is more likely to include a member across a slow (T3)
 path, and creation blocks on the furthest member; by size 32 the
 quartiles converge because some slow path is almost certain.
+
+Engine decomposition: one trial per group size (× seed); each trial
+bootstraps its own world and creates ``groups_per_size`` groups, so the
+five sizes regenerate concurrently under ``--jobs``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
 from repro.sim.metrics import Histogram
 from repro.world import FuseWorld
+
+EXPERIMENT = "fig7"
 
 
 @dataclass
@@ -34,6 +41,7 @@ class CreationResult:
     def __init__(self) -> None:
         self.by_size: Dict[int, Histogram] = {}
         self.failures: int = 0
+        self.result_set: Optional[ResultSet] = None
 
     def rows(self) -> List[Tuple]:
         out = []
@@ -52,18 +60,43 @@ class CreationResult:
         )
 
 
-def run(config: CreationConfig = CreationConfig()) -> CreationResult:
-    world = FuseWorld(n_nodes=config.n_nodes, seed=config.seed)
+def _trial(spec: TrialSpec) -> Measurements:
+    config: CreationConfig = spec.context
+    size = spec["group_size"]
+    world = FuseWorld(n_nodes=config.n_nodes, seed=spec.seed)
     world.bootstrap()
     rng = world.sim.rng.stream("creation-workload")
+    latencies: List[float] = []
+    failures = 0
+    for _ in range(config.groups_per_size):
+        root, *members = rng.sample(world.node_ids, size)
+        _fid, status, latency = world.create_group_sync(root, members)
+        if status == "ok":
+            latencies.append(latency)
+        else:
+            failures += 1
+    return {"latency_ms": latencies, "failures": failures}
+
+
+def sweep(config: CreationConfig, seeds: Optional[Sequence[int]] = None) -> Sweep:
+    return Sweep(
+        grid={"group_size": tuple(config.group_sizes)},
+        seeds=tuple(seeds) if seeds else (config.seed,),
+    )
+
+
+def run(
+    config: Optional[CreationConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> CreationResult:
+    config = config or CreationConfig()
+    specs = sweep(config, seeds).expand(EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_trial, specs, jobs=jobs), experiment=EXPERIMENT)
     result = CreationResult()
-    for size in config.group_sizes:
-        hist = result.by_size.setdefault(size, Histogram(f"create-{size}"))
-        for _ in range(config.groups_per_size):
-            root, *members = rng.sample(world.node_ids, size)
-            fid, status, latency = world.create_group_sync(root, members)
-            if status == "ok":
-                hist.add(latency)
-            else:
-                result.failures += 1
+    for size, subset in rs.group_by("group_size").items():
+        result.by_size[size] = subset.histogram("latency_ms", f"create-{size}")
+    result.failures = int(rs.total("failures"))
+    result.result_set = rs
     return result

@@ -9,15 +9,23 @@ retransmission masks the drops entirely — while at 11.4 % and 21.5 %
 some sockets break and a fraction of groups (growing with group size,
 since bigger groups expose more links) receive notifications even though
 every node is alive.
+
+Engine decomposition: one trial per per-link loss rate (× seed) — each
+builds its own lossy world and observes all group sizes over the run
+window.  Per-size outcomes are reported as ``failed[size]``/``total[size]``
+measurement pairs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
 from repro.world import FuseWorld
+
+EXPERIMENT = "fig12"
 
 
 @dataclass
@@ -39,6 +47,7 @@ class FalsePositivesResult:
         # per (per_link_loss, size): (groups_failed, groups_total)
         self.outcomes: Dict[Tuple[float, int], Tuple[int, int]] = {}
         self.median_route_loss: Dict[float, float] = {}
+        self.result_set: Optional[ResultSet] = None
 
     def failure_pct(self, per_link: float, size: int) -> float:
         failed, total = self.outcomes.get((per_link, size), (0, 0))
@@ -66,37 +75,67 @@ class FalsePositivesResult:
         )
 
 
-def run(config: FalsePositivesConfig = FalsePositivesConfig()) -> FalsePositivesResult:
+def _trial(spec: TrialSpec) -> Measurements:
+    config: FalsePositivesConfig = spec.context
+    per_link = spec["per_link_loss"]
+    world = FuseWorld(n_nodes=config.n_nodes, seed=spec.seed)
+    world.bootstrap()
+    rng = world.sim.rng.stream("fp-workload")
+
+    groups: Dict[int, List[str]] = {}
+    for size in config.group_sizes:
+        for _ in range(config.groups_per_size):
+            root, *members = rng.sample(world.node_ids, size)
+            fid, status, _ = world.create_group_sync(root, members)
+            if status == "ok":
+                groups.setdefault(size, []).append(fid)
+
+    # Record the median route loss this per-link rate produces.
+    world.topology.set_uniform_loss(per_link)
+    sample_losses = []
+    for _ in range(200):
+        a, b = rng.sample(world.node_ids, 2)
+        sample_losses.append(world.net.routes.route(a, b).current_loss())
+    sample_losses.sort()
+    median_route_loss = sample_losses[len(sample_losses) // 2]
+
+    world.run_for_minutes(config.run_minutes)
+
+    measurements: Measurements = {"median_route_loss": median_route_loss}
+    for size, fids in groups.items():
+        failed = sum(
+            1
+            for fid in fids
+            if any(fid in world.fuse(n).notifications for n in world.node_ids)
+        )
+        measurements[f"failed[{size}]"] = failed
+        measurements[f"total[{size}]"] = len(fids)
+    return measurements
+
+
+def sweep(config: FalsePositivesConfig, seeds: Optional[Sequence[int]] = None) -> Sweep:
+    return Sweep(
+        grid={"per_link_loss": tuple(config.per_link_loss)},
+        seeds=tuple(seeds) if seeds else (config.seed,),
+    )
+
+
+def run(
+    config: Optional[FalsePositivesConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> FalsePositivesResult:
+    config = config or FalsePositivesConfig()
+    specs = sweep(config, seeds).expand(EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_trial, specs, jobs=jobs), experiment=EXPERIMENT)
     result = FalsePositivesResult()
-    for loss_index, per_link in enumerate(config.per_link_loss):
-        world = FuseWorld(n_nodes=config.n_nodes, seed=config.seed + loss_index)
-        world.bootstrap()
-        rng = world.sim.rng.stream("fp-workload")
-
-        groups: Dict[int, List[str]] = {}
+    for per_link, subset in rs.group_by("per_link_loss").items():
+        result.median_route_loss[per_link] = subset.mean("median_route_loss")
         for size in config.group_sizes:
-            for _ in range(config.groups_per_size):
-                root, *members = rng.sample(world.node_ids, size)
-                fid, status, _ = world.create_group_sync(root, members)
-                if status == "ok":
-                    groups.setdefault(size, []).append(fid)
-
-        # Record the median route loss this per-link rate produces.
-        world.topology.set_uniform_loss(per_link)
-        sample_losses = []
-        for _ in range(200):
-            a, b = rng.sample(world.node_ids, 2)
-            sample_losses.append(world.net.routes.route(a, b).current_loss())
-        sample_losses.sort()
-        result.median_route_loss[per_link] = sample_losses[len(sample_losses) // 2]
-
-        world.run_for_minutes(config.run_minutes)
-
-        for size, fids in groups.items():
-            failed = sum(
-                1
-                for fid in fids
-                if any(fid in world.fuse(n).notifications for n in world.node_ids)
-            )
-            result.outcomes[(per_link, size)] = (failed, len(fids))
+            failed = int(subset.total(f"failed[{size}]"))
+            total = int(subset.total(f"total[{size}]"))
+            if total:
+                result.outcomes[(per_link, size)] = (failed, total)
+    result.result_set = rs
     return result

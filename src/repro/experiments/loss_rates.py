@@ -7,16 +7,24 @@ pairs, computes each route's compound loss, and reports the CDFs — a
 direct check that our topology's hop-count distribution reproduces the
 paper's loss-compounding regime, which Fig 12's false-positive behaviour
 then depends on.
+
+Engine decomposition: one trial per per-link loss rate.  Every trial of a
+base seed rebuilds the *same* topology and pair sample (the topology is
+seeded from the base seed, not the per-trial seed) so the three CDFs stay
+comparable — exactly as if one topology had been measured three times.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_cdf, format_table
 from repro.net import MercatorConfig, Network, build_mercator_topology
 from repro.sim import CdfSeries, Simulator
+
+EXPERIMENT = "fig11"
 
 
 @dataclass
@@ -35,6 +43,7 @@ class LossRatesResult:
     def __init__(self) -> None:
         self.route_loss: Dict[float, CdfSeries] = {}
         self.hop_counts = CdfSeries("hops")
+        self.result_set: Optional[ResultSet] = None
 
     def rows(self) -> List[Tuple]:
         out = []
@@ -71,24 +80,51 @@ class LossRatesResult:
         return table
 
 
-def run(config: LossRatesConfig = LossRatesConfig()) -> LossRatesResult:
-    sim = Simulator(seed=config.seed)
+def _trial(spec: TrialSpec) -> Measurements:
+    config: LossRatesConfig = spec.context
+    per_link = spec["per_link_loss"]
+    # Seed from base_seed so every loss rate measures the same topology
+    # and pair sample (route-loss compounding is deterministic per route).
+    sim = Simulator(seed=spec.base_seed)
     topo, hosts = build_mercator_topology(
         MercatorConfig.scaled_for_hosts(config.n_hosts), sim.rng.stream("topology")
     )
     net = Network(sim, topo)
     rng = sim.rng.stream("loss-pairs")
-    result = LossRatesResult()
-    pairs = []
+    topo.set_uniform_loss(per_link)
+    route_loss: List[float] = []
+    hops: List[float] = []
     for _ in range(config.n_pairs):
         a, b = rng.sample(hosts, 2)
         route = net.routes.route(a, b)
-        pairs.append(route)
-        result.hop_counts.add(route.hop_count)
-    for per_link in config.per_link_loss:
-        topo.set_uniform_loss(per_link)
-        cdf = result.route_loss.setdefault(per_link, CdfSeries(f"loss-{per_link}"))
-        for route in pairs:
-            cdf.add(route.current_loss())
-    topo.set_uniform_loss(0.0)
+        hops.append(route.hop_count)
+        route_loss.append(route.current_loss())
+    return {"route_loss": route_loss, "hops": hops}
+
+
+def sweep(config: LossRatesConfig, seeds: Optional[Sequence[int]] = None) -> Sweep:
+    return Sweep(
+        grid={"per_link_loss": tuple(config.per_link_loss)},
+        seeds=tuple(seeds) if seeds else (config.seed,),
+    )
+
+
+def run(
+    config: Optional[LossRatesConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> LossRatesResult:
+    config = config or LossRatesConfig()
+    specs = sweep(config, seeds).expand(EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_trial, specs, jobs=jobs), experiment=EXPERIMENT)
+    result = LossRatesResult()
+    for per_link, subset in rs.group_by("per_link_loss").items():
+        result.route_loss[per_link] = subset.cdf("route_loss", f"loss-{per_link}")
+    # All trials of one seed share a pair sample; use the first grid
+    # point's trials so hops are not multiple-counted per loss rate.
+    first_axis = rs.axis("per_link_loss")
+    if first_axis:
+        result.hop_counts = rs.where(per_link_loss=first_axis[0]).cdf("hops", "hops")
+    result.result_set = rs
     return result

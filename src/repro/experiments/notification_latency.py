@@ -9,16 +9,22 @@ one-way messages over cached TCP connections, taking effect per-member on
 arrival; the median rises from size 2 to 8 (the extra member->root->member
 forwarding hop), then creeps up at 16/32 from per-message serialization
 at the root (the paper measured 2.8 ms per send).  Paper max: 1165 ms.
+
+Engine decomposition: one trial per group size (× seed), each in its own
+bootstrapped world.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
 from repro.sim.metrics import Histogram
 from repro.world import FuseWorld
+
+EXPERIMENT = "fig8"
 
 
 @dataclass
@@ -40,6 +46,7 @@ class NotificationResult:
         # Latency of each individual member notification.
         self.member_latency: Dict[int, Histogram] = {}
         self.max_observed_ms: float = 0.0
+        self.result_set: Optional[ResultSet] = None
 
     def rows(self) -> List[Tuple]:
         out = []
@@ -65,40 +72,64 @@ class NotificationResult:
         )
 
 
-def run(config: NotificationConfig = NotificationConfig()) -> NotificationResult:
-    world = FuseWorld(n_nodes=config.n_nodes, seed=config.seed)
+def _trial(spec: TrialSpec) -> Measurements:
+    config: NotificationConfig = spec.context
+    size = spec["group_size"]
+    world = FuseWorld(n_nodes=config.n_nodes, seed=spec.seed)
     world.bootstrap()
     rng = world.sim.rng.stream("notify-workload")
+    member_ms: List[float] = []
+    group_ms: List[float] = []
+    for _ in range(config.groups_per_size):
+        root, *members = rng.sample(world.node_ids, size)
+        fid, status, _ = world.create_group_sync(root, members)
+        if status != "ok":
+            continue
+        everyone = [root] + members
+        times: Dict[int, float] = {}
+        for node in everyone:
+            world.fuse(node).observe_notifications(
+                lambda f, reason, node=node, fid=fid: times.setdefault(node, world.now)
+                if f == fid
+                else None
+            )
+        signaller = rng.choice(everyone)
+        t0 = world.now
+        world.fuse(signaller).signal_failure(fid)
+        # Run until every member heard (bounded patience).
+        deadline = t0 + 120_000.0
+        while len(times) < len(everyone) and world.now < deadline:
+            if not world.sim.step():
+                break
+        for node, when in times.items():
+            if node != signaller:
+                member_ms.append(when - t0)
+        if times:
+            group_ms.append(max(times.values()) - t0)
+    return {"member_ms": member_ms, "group_ms": group_ms}
+
+
+def sweep(config: NotificationConfig, seeds: Optional[Sequence[int]] = None) -> Sweep:
+    return Sweep(
+        grid={"group_size": tuple(config.group_sizes)},
+        seeds=tuple(seeds) if seeds else (config.seed,),
+    )
+
+
+def run(
+    config: Optional[NotificationConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> NotificationResult:
+    config = config or NotificationConfig()
+    specs = sweep(config, seeds).expand(EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_trial, specs, jobs=jobs), experiment=EXPERIMENT)
     result = NotificationResult()
-    for size in config.group_sizes:
-        group_hist = result.group_latency.setdefault(size, Histogram(f"group-{size}"))
-        member_hist = result.member_latency.setdefault(size, Histogram(f"member-{size}"))
-        for _ in range(config.groups_per_size):
-            root, *members = rng.sample(world.node_ids, size)
-            fid, status, _ = world.create_group_sync(root, members)
-            if status != "ok":
-                continue
-            everyone = [root] + members
-            times: Dict[int, float] = {}
-            for node in everyone:
-                world.fuse(node).observe_notifications(
-                    lambda f, reason, node=node, fid=fid: times.setdefault(node, world.now)
-                    if f == fid
-                    else None
-                )
-            signaller = rng.choice(everyone)
-            t0 = world.now
-            world.fuse(signaller).signal_failure(fid)
-            # Run until every member heard (bounded patience).
-            deadline = t0 + 120_000.0
-            while len(times) < len(everyone) and world.now < deadline:
-                if not world.sim.step():
-                    break
-            for node, when in times.items():
-                if node != signaller:
-                    member_hist.add(when - t0)
-            if times:
-                last = max(times.values()) - t0
-                group_hist.add(last)
-                result.max_observed_ms = max(result.max_observed_ms, last)
+    for size, subset in rs.group_by("group_size").items():
+        result.group_latency[size] = subset.histogram("group_ms", f"group-{size}")
+        result.member_latency[size] = subset.histogram("member_ms", f"member-{size}")
+    group_samples = rs.samples("group_ms")
+    result.max_observed_ms = max(group_samples) if group_samples else 0.0
+    result.result_set = rs
     return result

@@ -3,8 +3,15 @@
 Regenerate any paper figure/table from a shell::
 
     python -m repro.experiments.run fig7
-    python -m repro.experiments.run fig9 --paper-scale
-    python -m repro.experiments.run all
+    python -m repro.experiments.run fig9 --paper-scale --jobs 4
+    python -m repro.experiments.run fig7 --seeds 1,2,3 --json --out fig7.json
+    python -m repro.experiments.run all --jobs 8 --out results/
+
+Every experiment runs through the shared trial engine
+(:mod:`repro.engine`): ``--jobs N`` fans its independent trials across N
+worker processes (aggregate results are seed-for-seed identical to
+``--jobs 1``), ``--seeds`` replicates the sweep over extra base seeds,
+and ``--json`` / ``--out`` archive machine-readable per-trial results.
 
 ``--paper-scale`` uses the paper's parameters (400 nodes; 16,000 for the
 §4 simulation) and can take minutes; the default scaled-down configs run
@@ -14,9 +21,12 @@ in seconds each.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import pathlib
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import (
     ablation,
@@ -89,15 +99,41 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable, Callable]] = {
 }
 
 
-def run_one(name: str, paper_scale: bool) -> None:
+def _parse_seeds(text: Optional[str]) -> Optional[List[int]]:
+    if not text:
+        return None
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"--seeds expects comma-separated integers: {exc}")
+
+
+def run_one(
+    name: str,
+    paper_scale: bool,
+    jobs: int = 1,
+    seeds: Optional[List[int]] = None,
+    as_json: bool = False,
+) -> Tuple[str, object]:
+    """Run one experiment; returns (rendered output, result object)."""
     runner, default_cfg, paper_cfg = EXPERIMENTS[name]
     config = paper_cfg() if paper_scale else default_cfg()
     started = time.time()
-    result = runner(config)
+    result = runner(config, jobs=jobs, seeds=seeds)
     elapsed = time.time() - started
-    print(result.format_table())
-    print(f"[{name}: {elapsed:.1f}s wall clock]")
-    print()
+    if as_json:
+        payload = result.result_set.to_json_dict()
+        payload["config"] = dataclasses.asdict(config)
+        payload["wall_seconds"] = round(elapsed, 3)
+        payload["jobs"] = jobs
+        rendered = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    else:
+        rendered = (
+            result.format_table()
+            + f"\n[{name}: {elapsed:.1f}s wall clock, jobs={jobs}, "
+            f"{len(result.result_set)} trials]"
+        )
+    return rendered, result
 
 
 def main(argv=None) -> int:
@@ -115,10 +151,60 @@ def main(argv=None) -> int:
         action="store_true",
         help="use the paper's full parameters (slow)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent trials (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--seeds",
+        metavar="S1,S2,...",
+        help="comma-separated base seeds replacing the config default; "
+        "the whole sweep is replicated per seed",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable per-trial results instead of tables",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write output to PATH (a directory when running 'all') "
+        "instead of only printing it",
+    )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    seeds = _parse_seeds(args.seeds)
+    jobs = max(1, args.jobs)
+
+    out_dir: Optional[pathlib.Path] = None
+    out_file: Optional[pathlib.Path] = None
+    if args.out:
+        path = pathlib.Path(args.out)
+        if args.experiment == "all":
+            out_dir = path
+            out_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            out_file = path
+            if out_file.parent != pathlib.Path(""):
+                out_file.parent.mkdir(parents=True, exist_ok=True)
+
+    suffix = "json" if args.json else "txt"
     for name in names:
-        run_one(name, args.paper_scale)
+        rendered, _result = run_one(
+            name, args.paper_scale, jobs=jobs, seeds=seeds, as_json=args.json
+        )
+        # Archive before printing: a closed stdout pipe (| head, | less)
+        # must not lose the --out artifact to BrokenPipeError.
+        if out_dir is not None:
+            (out_dir / f"{name}.{suffix}").write_text(rendered + "\n")
+        elif out_file is not None:
+            out_file.write_text(rendered + "\n")
+        print(rendered)
+        print()
     return 0
 
 

@@ -7,15 +7,23 @@ FUSE groups of 10 members each — i.e. FUSE added *no* messages, only a
 20-byte hash piggybacked on existing pings.  This driver measures the
 same two windows and also reports bytes/second so the hash cost is
 visible.
+
+Engine decomposition: a two-point grid over ``fuse_groups`` (off/on).
+Both trials of a base seed build the *identical* world (seeded from the
+base seed), so the with-FUSE window differs from the without-FUSE window
+only by the live groups — the paper's same-deployment comparison.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
 from repro.world import FuseWorld
+
+EXPERIMENT = "steady-state"
 
 
 @dataclass
@@ -38,6 +46,7 @@ class SteadyStateResult:
         self.bytes_per_sec_without: float = 0.0
         self.bytes_per_sec_with: float = 0.0
         self.groups_created: int = 0
+        self.result_set: Optional[ResultSet] = None
 
     @property
     def message_overhead_pct(self) -> float:
@@ -64,30 +73,56 @@ class SteadyStateResult:
         )
 
 
-def run(config: SteadyStateConfig = SteadyStateConfig()) -> SteadyStateResult:
-    world = FuseWorld(n_nodes=config.n_nodes, seed=config.seed)
-    world.bootstrap()
-    result = SteadyStateResult()
+def _trial(spec: TrialSpec) -> Measurements:
+    config: SteadyStateConfig = spec.context
     window_ms = config.window_minutes * 60_000.0
+    # Seed from base_seed: the FUSE-on and FUSE-off arms measure the same
+    # deployment, differing only in the live groups.
+    world = FuseWorld(n_nodes=config.n_nodes, seed=spec.base_seed)
+    world.bootstrap()
 
-    # Window 1: overlay alone.
+    groups_created = 0
+    if spec["fuse_groups"]:
+        rng = world.sim.rng.stream("steady-workload")
+        for _ in range(config.n_groups):
+            root, *members = rng.sample(world.node_ids, config.group_size)
+            _fid, status, _ = world.create_group_sync(root, members)
+            if status == "ok":
+                groups_created += 1
+        world.run_for_minutes(1.0)  # let InstallChecking traffic drain
+
     world.sim.metrics.reset_counters()
     world.run_for(window_ms)
-    result.msgs_per_sec_without = world.sim.metrics.counter("net.messages").rate_per_second(window_ms)
-    result.bytes_per_sec_without = world.sim.metrics.counter("net.bytes").rate_per_second(window_ms)
+    return {
+        "msgs_per_sec": world.sim.metrics.counter("net.messages").rate_per_second(window_ms),
+        "bytes_per_sec": world.sim.metrics.counter("net.bytes").rate_per_second(window_ms),
+        "groups_created": groups_created,
+    }
 
-    # Create the groups.
-    rng = world.sim.rng.stream("steady-workload")
-    for _ in range(config.n_groups):
-        root, *members = rng.sample(world.node_ids, config.group_size)
-        _fid, status, _ = world.create_group_sync(root, members)
-        if status == "ok":
-            result.groups_created += 1
-    world.run_for_minutes(1.0)  # let InstallChecking traffic drain
 
-    # Window 2: overlay + live FUSE groups.
-    world.sim.metrics.reset_counters()
-    world.run_for(window_ms)
-    result.msgs_per_sec_with = world.sim.metrics.counter("net.messages").rate_per_second(window_ms)
-    result.bytes_per_sec_with = world.sim.metrics.counter("net.bytes").rate_per_second(window_ms)
+def sweep(config: SteadyStateConfig, seeds: Optional[Sequence[int]] = None) -> Sweep:
+    return Sweep(
+        grid={"fuse_groups": (False, True)},
+        seeds=tuple(seeds) if seeds else (config.seed,),
+    )
+
+
+def run(
+    config: Optional[SteadyStateConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> SteadyStateResult:
+    config = config or SteadyStateConfig()
+    specs = sweep(config, seeds).expand(EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_trial, specs, jobs=jobs), experiment=EXPERIMENT)
+    result = SteadyStateResult()
+    without = rs.where(fuse_groups=False)
+    with_groups = rs.where(fuse_groups=True)
+    result.msgs_per_sec_without = without.mean("msgs_per_sec")
+    result.bytes_per_sec_without = without.mean("bytes_per_sec")
+    result.msgs_per_sec_with = with_groups.mean("msgs_per_sec")
+    result.bytes_per_sec_with = with_groups.mean("bytes_per_sec")
+    result.groups_created = int(rs.total("groups_created"))
+    result.result_set = rs
     return result

@@ -6,17 +6,23 @@ the distribution depends only weakly on tree size (it grows slowly with
 overlay size).  Group size is 2 (link endpoints) plus the RPF nodes the
 content link bypasses, so this statistic is a direct probe of overlay
 route lengths between subscribers and their attach points.
+
+Engine decomposition: one trial per base seed; seed replicas merge their
+group-size samples.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.apps.svtree import SVTreeService
+from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
 from repro.sim.metrics import Histogram
 from repro.world import FuseWorld
+
+EXPERIMENT = "svtree"
 
 
 @dataclass
@@ -37,6 +43,7 @@ class SvtreeStatsResult:
         self.sizes = Histogram("svtree-group-sizes")
         self.subscriptions = 0
         self.delivered_ok = 0
+        self.result_set: Optional[ResultSet] = None
 
     def rows(self) -> List[Tuple]:
         if not len(self.sizes):
@@ -59,22 +66,44 @@ class SvtreeStatsResult:
         )
 
 
-def run(config: SvtreeStatsConfig = SvtreeStatsConfig()) -> SvtreeStatsResult:
-    world = FuseWorld(n_nodes=config.n_nodes, seed=config.seed)
+def _trial(spec: TrialSpec) -> Measurements:
+    config: SvtreeStatsConfig = spec.context
+    world = FuseWorld(n_nodes=config.n_nodes, seed=spec.seed)
     world.bootstrap()
     services = {nid: SVTreeService(world.fuse(nid)) for nid in world.node_ids}
     rng = world.sim.rng.stream("svtree-workload")
-    result = SvtreeStatsResult()
+    subscriptions = 0
 
     for t in range(config.n_topics):
         topic = f"topic-{t}"
         subscribers = rng.sample(world.node_ids, config.subscribers_per_topic)
         for sub in subscribers:
             services[sub].subscribe(topic, lambda _t, _e: None)
-            result.subscriptions += 1
+            subscriptions += 1
         world.run_for_minutes(1.0)
     world.run_for_minutes(2.0)
 
+    sizes: List[float] = []
     for service in services.values():
-        result.sizes.extend(service.group_sizes)
+        sizes.extend(service.group_sizes)
+    return {"sizes": sizes, "subscriptions": subscriptions}
+
+
+def sweep(config: SvtreeStatsConfig, seeds: Optional[Sequence[int]] = None) -> Sweep:
+    return Sweep(seeds=tuple(seeds) if seeds else (config.seed,))
+
+
+def run(
+    config: Optional[SvtreeStatsConfig] = None,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> SvtreeStatsResult:
+    config = config or SvtreeStatsConfig()
+    specs = sweep(config, seeds).expand(EXPERIMENT, context=config)
+    rs = ResultSet(run_trials(_trial, specs, jobs=jobs), experiment=EXPERIMENT)
+    result = SvtreeStatsResult()
+    result.sizes = rs.histogram("sizes", "svtree-group-sizes")
+    result.subscriptions = int(rs.total("subscriptions"))
+    result.result_set = rs
     return result

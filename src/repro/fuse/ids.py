@@ -1,30 +1,47 @@
 """FUSE group identifiers.
 
-A FUSE ID is globally unique and deliberately *not* bound to a node or
-process (§2): applications pass it around and associate arbitrary
-distributed state with it.  We generate IDs from the creating node's name
-plus a local counter plus a short hash, which is unique, deterministic
-under a fixed simulation seed, and human-readable in traces.
+A FUSE ID is deliberately *not* bound to a node or process (§2):
+applications pass it around and associate arbitrary distributed state
+with it.  An ID is built from the creating node's name plus a per-creator
+serial plus a short hash — unique within a deployment (node names are
+unique, and each creator numbers its own groups), deterministic under a
+fixed simulation seed, and human-readable in traces.
+
+Creators (``FuseService`` and the §5 alternative topologies) own their
+serial counters, so IDs are a pure function of the world's seed — the
+property the trial engine's serial-vs-parallel determinism guarantee
+rests on.  Calling :func:`make_fuse_id` without a serial falls back to a
+process-global counter (convenient for ad-hoc use and tests, but not
+deterministic across processes).
 """
 
 from __future__ import annotations
 
 import hashlib
 import itertools
+from typing import Optional
 
 FuseId = str
 
 _counter = itertools.count(1)
 
 
-def make_fuse_id(root_name: str, salt: int = 0) -> FuseId:
-    """Create a fresh globally unique FUSE ID."""
-    serial = next(_counter)
+def make_fuse_id(root_name: str, serial: Optional[int] = None, salt: int = 0) -> FuseId:
+    """Create a FUSE ID for ``root_name``'s next group.
+
+    Args:
+        root_name: name of the creating node; namespaces the serial.
+        serial: the creator's own group number.  Defaults to a
+            process-global counter when omitted.
+        salt: extra disambiguator mixed into the hash.
+    """
+    if serial is None:
+        serial = next(_counter)
     digest = hashlib.sha1(f"{root_name}:{serial}:{salt}".encode()).hexdigest()[:8]
     return f"fuse-{root_name}-{serial}-{digest}"
 
 
 def reset_fuse_id_counter() -> None:
-    """Restart the ID serial counter (test isolation only)."""
+    """Restart the global fallback serial counter (test isolation only)."""
     global _counter
     _counter = itertools.count(1)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import itertools
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.fuse.config import FuseConfig
@@ -88,6 +89,10 @@ class FuseService:
         self._liveness_timeout = self.config.effective_liveness_timeout(
             overlay_node.config.liveness_silence_ms
         )
+        # Per-creator serial: fuse ids are a pure function of the world's
+        # seed (no process-global state), which the trial engine's
+        # serial-vs-parallel determinism guarantee depends on.
+        self._fuse_id_serial = itertools.count(1)
 
         # §3.6 stable storage: survives crashes (it models a disk file).
         # Maps fuse_id -> minimal recovery record.
@@ -185,7 +190,7 @@ class FuseService:
         the attempt (useful for tracing; only valid if creation succeeds).
         """
         member_ids = [m for m in dict.fromkeys(members) if m != self.host.node_id]
-        fuse_id = make_fuse_id(self.name)
+        fuse_id = make_fuse_id(self.name, serial=next(self._fuse_id_serial))
         state = GroupState(
             fuse_id,
             root_name=self.name,

@@ -115,6 +115,7 @@ class AlternativeFuseBase:
         self.groups: Dict[FuseId, AltGroup] = {}
         self.notifications: Dict[FuseId, str] = {}
         self._nonce = itertools.count(1)
+        self._fuse_id_serial = itertools.count(1)
         self._sweeping = False
         host.on_crash(self._on_crash)
         host.register_handler(AltCreateRequest, self._on_create_request)
@@ -129,7 +130,7 @@ class AlternativeFuseBase:
         member_ids = [self.host.node_id] + [
             m for m in dict.fromkeys(members) if m != self.host.node_id
         ]
-        fuse_id = make_fuse_id(self.host.name)
+        fuse_id = make_fuse_id(self.host.name, serial=next(self._fuse_id_serial))
         group = AltGroup(fuse_id, self.host.node_id, member_ids, self.sim.now)
         self.groups[fuse_id] = group
         self._group_installed(group)

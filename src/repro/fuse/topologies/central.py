@@ -156,6 +156,7 @@ class CentralServerFuse:
         self.groups: Dict[FuseId, AltGroup] = {}
         self.notifications: Dict[FuseId, str] = {}
         self._nonce = itertools.count(1)
+        self._fuse_id_serial = itertools.count(1)
         self._pinging = False
         self._server_deadline: Optional[float] = None
         host.on_crash(self._on_crash)
@@ -170,7 +171,7 @@ class CentralServerFuse:
         member_ids = [self.host.node_id] + [
             m for m in dict.fromkeys(members) if m != self.host.node_id
         ]
-        fuse_id = make_fuse_id(self.host.name)
+        fuse_id = make_fuse_id(self.host.name, serial=next(self._fuse_id_serial))
         group = AltGroup(fuse_id, self.host.node_id, member_ids, self.sim.now)
         self.groups[fuse_id] = group
         self._ensure_pinging()

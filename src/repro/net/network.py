@@ -20,6 +20,7 @@ from repro.net.routing import RouteTable
 from repro.net.topology import Topology
 from repro.net.transport import TransportConfig
 from repro.sim.kernel import Simulator
+from repro.sim.metrics import Counter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.net.node import Host
@@ -46,6 +47,19 @@ class Network:
         self._connections: Set[FrozenSet[NodeId]] = set()
         self._send_busy_until: Dict[NodeId, float] = {}
         self._rng = sim.rng.stream("net.transport")
+        # Hot-path caches: counter objects are resolved once here instead
+        # of by-name on every send/delivery (reset_counters() mutates the
+        # same objects, so the references stay valid across measurement
+        # windows), and event labels are only built when a trace consumer
+        # exists.
+        metrics = sim.metrics
+        self._ctr_messages = metrics.counter("net.messages")
+        self._ctr_bytes = metrics.counter("net.bytes")
+        self._ctr_deliveries = metrics.counter("net.deliveries")
+        self._ctr_transmissions = metrics.counter("net.transmissions")
+        self._ctr_breaks = metrics.counter("net.connection_breaks")
+        self._msg_type_counters: Dict[str, Counter] = {}
+        self._tracing = sim.trace is not None
 
     # ------------------------------------------------------------------
     # Host registry
@@ -70,6 +84,9 @@ class Network:
         self.faults.crash(node_id)
         self._hosts[node_id].mark_crashed()
         self._purge_connections(node_id)
+        # The dead process's send queue dies with it: a recovered
+        # incarnation must not inherit the old serialization backlog.
+        self._send_busy_until.pop(node_id, None)
 
     def recover_host(self, node_id: NodeId) -> None:
         """Restart a crashed process with empty volatile state."""
@@ -115,10 +132,14 @@ class Network:
         if not sender.alive:
             return  # a dead process sends nothing
 
-        metrics = self.sim.metrics
-        metrics.counter("net.messages").increment()
-        metrics.counter(f"net.msg.{message.type_name}").increment()
-        metrics.counter("net.bytes").increment(message.size_bytes)
+        type_name = message.type_name
+        self._ctr_messages.increment()
+        type_counter = self._msg_type_counters.get(type_name)
+        if type_counter is None:
+            type_counter = self.sim.metrics.counter(f"net.msg.{type_name}")
+            self._msg_type_counters[type_name] = type_counter
+        type_counter.increment()
+        self._ctr_bytes.increment(message.size_bytes)
 
         # Per-message CPU/serialization occupancy at the sender: messages
         # queue behind each other (this is what makes large fan-outs at a
@@ -144,7 +165,8 @@ class Network:
             on_fail=on_fail,
             src_incarnation=sender.incarnation,
         )
-        self.sim.call_at(inject_time, state.attempt, label=f"tx:{message.type_name}")
+        label = f"tx:{type_name}" if self._tracing else ""
+        self.sim.call_at(inject_time, state.attempt, label=label)
 
     # Internal: called by _SendAttemptState on success of the first segment.
     def _mark_connected(self, a: NodeId, b: NodeId) -> None:
@@ -157,7 +179,7 @@ class Network:
         receiver = self._hosts[dst]
         if not receiver.alive:
             return
-        self.sim.metrics.counter("net.deliveries").increment()
+        self._ctr_deliveries.increment()
         receiver.deliver(message)
 
     def __repr__(self) -> str:
@@ -186,6 +208,7 @@ class _SendAttemptState:
         "src_incarnation",
         "attempt_index",
         "rto_ms",
+        "deliver_cb",
     )
 
     def __init__(
@@ -209,6 +232,9 @@ class _SendAttemptState:
         self.src_incarnation = src_incarnation
         self.attempt_index = 0
         self.rto_ms = network.config.rto_initial_ms
+        # Bind the delivery callback once; attempt() would otherwise
+        # allocate a fresh closure on every successful transmission.
+        self.deliver_cb = self._deliver_now
 
     def attempt(self) -> None:
         net = self.network
@@ -217,10 +243,11 @@ class _SendAttemptState:
         if not sender.alive or sender.incarnation != self.src_incarnation:
             return  # sender died mid-send; nothing to do
 
-        sim.metrics.counter("net.transmissions").increment()
+        net._ctr_transmissions.increment()
         loss = self.route.current_loss()
         reachable = net.faults.can_communicate(self.src, self.dst)
         dropped = (not reachable) or (net._rng.random() < loss)
+        tracing = net._tracing
 
         if not dropped:
             latency = self.route.current_latency()
@@ -234,8 +261,8 @@ class _SendAttemptState:
             arrival = sim.now + extra + latency + jitter + net.config.recv_overhead_ms
             sim.call_at(
                 arrival,
-                lambda: net._deliver(self.src, self.dst, self.message),
-                label=f"rx:{self.message.type_name}",
+                self.deliver_cb,
+                label=f"rx:{self.message.type_name}" if tracing else "",
             )
             return
 
@@ -244,19 +271,26 @@ class _SendAttemptState:
             self.attempt_index += 1
             delay = self.rto_ms
             self.rto_ms *= net.config.rto_backoff
-            sim.call_after(delay, self.attempt, label=f"rtx:{self.message.type_name}")
+            sim.call_after(
+                delay,
+                self.attempt,
+                label=f"rtx:{self.message.type_name}" if tracing else "",
+            )
             return
 
         # Retries exhausted: the socket breaks.
         net._break_connection(self.src, self.dst)
-        sim.metrics.counter("net.connection_breaks").increment()
+        net._ctr_breaks.increment()
         if self.on_fail is not None:
             on_fail = self.on_fail
             sim.call_after(
                 self.rto_ms,
                 lambda: self._report_failure(on_fail),
-                label=f"brk:{self.message.type_name}",
+                label=f"brk:{self.message.type_name}" if tracing else "",
             )
+
+    def _deliver_now(self) -> None:
+        self.network._deliver(self.src, self.dst, self.message)
 
     def _report_failure(self, on_fail: FailureCallback) -> None:
         sender = self.network.host(self.src)

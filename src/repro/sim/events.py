@@ -25,7 +25,7 @@ class Event:
         label: optional human-readable tag used in traces and repr.
     """
 
-    __slots__ = ("when", "seq", "callback", "label", "_cancelled")
+    __slots__ = ("when", "seq", "callback", "label", "_cancelled", "_queue")
 
     def __init__(self, when: float, seq: int, callback: Callable[[], Any], label: str = "") -> None:
         self.when = when
@@ -33,14 +33,25 @@ class Event:
         self.callback = callback
         self.label = label
         self._cancelled = False
+        self._queue: Optional["EventQueue"] = None
 
     @property
     def cancelled(self) -> bool:
         return self._cancelled
 
     def cancel(self) -> None:
-        """Mark the event so the queue skips it; idempotent."""
+        """Mark the event so the queue skips it; idempotent.
+
+        Cancellation is routed back to the owning queue so ``len(queue)``
+        reflects it immediately, even though the heap entry itself is only
+        dropped lazily at pop time.
+        """
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+            self._queue = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -91,9 +102,14 @@ class EventQueue:
 
     def push(self, when: float, callback: Callable[[], Any], label: str = "") -> Event:
         event = Event(when, next(self._seq), callback, label)
+        event._queue = self
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is still queued."""
+        self._live -= 1
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next non-cancelled event, or None if empty."""
@@ -108,16 +124,20 @@ class EventQueue:
         if not self._heap:
             return None
         event = heapq.heappop(self._heap)
+        event._queue = None
         self._live -= 1
         return event
 
     def _drop_cancelled(self) -> None:
+        # Cancelled events already left the live count (Event.cancel
+        # notified us); here we only shed their heap entries.
         heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
-            self._live -= 1
 
     def clear(self) -> None:
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
         self._live = 0
 

@@ -68,6 +68,38 @@ class TestEventQueue:
         q.peek_time()  # forces lazy cleanup
         assert len(q) == 1
 
+    def test_len_reflects_cancellation_immediately(self):
+        """Regression: cancel() must update len() even though the heap
+        entry is only dropped lazily at pop time."""
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(4)]
+        events[2].cancel()
+        assert len(q) == 3  # no peek/pop in between
+        events[2].cancel()  # idempotent: no double decrement
+        assert len(q) == 3
+        # Popping the remaining events drains the count to zero.
+        while q.pop() is not None:
+            pass
+        assert len(q) == 0
+
+    def test_len_after_pop_then_cancel(self):
+        """Cancelling an already-popped event must not corrupt len()."""
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        popped = q.pop()
+        assert len(q) == 1
+        popped.cancel()  # the kernel does this to mark events consumed
+        assert len(q) == 1
+
+    def test_clear_detaches_events(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        q.clear()
+        assert len(q) == 0
+        handle.cancel()  # must not drive the live count negative
+        assert len(q) == 0
+
     def test_peek_time(self):
         q = EventQueue()
         assert q.peek_time() is None

@@ -122,6 +122,29 @@ class TestDelivery:
         sim.run()
         assert sim.metrics.counter("net.unhandled").value == 1
 
+    def test_crash_clears_sender_occupancy(self):
+        """Regression: a recovered incarnation must not inherit the dead
+        process's serialization backlog (_send_busy_until carryover)."""
+        overhead = 50.0
+        sim, net, hosts = build_net(
+            transport=TransportConfig(send_overhead_ms=overhead, jitter_fraction=0.0)
+        )
+        # Pile up a large send backlog at host 0.
+        for _ in range(100):
+            hosts[0].send(1, Note())
+        assert net._send_busy_until[0] >= 100 * overhead
+        net.crash_host(0)
+        assert 0 not in net._send_busy_until
+        net.recover_host(0)
+        # A fresh send from the restarted process pays only its own
+        # overhead, not the dead incarnation's queue.
+        arrivals = []
+        hosts[2].register_handler(Note, lambda m: arrivals.append(sim.now))
+        t0 = sim.now
+        hosts[0].send(2, Note())
+        sim.run()
+        assert arrivals and arrivals[0] - t0 < 2 * overhead + 1_000.0
+
 
 class TestSerializationOverhead:
     def test_sends_queue_behind_each_other(self):
