@@ -151,7 +151,7 @@ class FuseService:
                 self._attempt_repair(state, "stable-storage-recovery")
             else:
                 self._arm_bootstrap_timer(state)
-                self.sim.call_soon(lambda s=state: self._route_install_checking(s))
+                self.sim.schedule_soon(lambda s=state: self._route_install_checking(s))
 
     def _persist(self, state: GroupState) -> None:
         """Write the group's recovery record to "disk" (no-op unless the
@@ -206,7 +206,7 @@ class FuseService:
         self.sim.metrics.counter("fuse.create_attempts").increment()
 
         if not member_ids:
-            self.sim.call_soon(lambda: self._complete_create(state, on_complete))
+            self.sim.schedule_soon(lambda: self._complete_create(state, on_complete))
             return fuse_id
 
         pending = _PendingCreate(set(member_ids), on_complete)
@@ -218,7 +218,7 @@ class FuseService:
         if not self.config.blocking_create:
             # Ablation: hand the ID back immediately; liveness checking
             # must catch unreachable members after the fact.
-            self.sim.call_soon(lambda: on_complete(fuse_id, "ok"))
+            self.sim.schedule_soon(lambda: on_complete(fuse_id, "ok"))
             pending.on_complete = lambda *_: None
         return fuse_id
 
@@ -230,7 +230,7 @@ class FuseService:
         """
         state = self.groups.get(fuse_id)
         if state is None:
-            self.sim.call_soon(lambda: handler(fuse_id))
+            self.sim.schedule_soon(lambda: handler(fuse_id))
             return
         state.handler = handler
 
@@ -347,8 +347,10 @@ class FuseService:
         )
 
     def _arm_bootstrap_timer(self, state: GroupState) -> None:
-        if state.bootstrap_timer is not None:
-            state.bootstrap_timer.cancel()
+        if state.bootstrap_timer is not None and state.bootstrap_timer.reschedule_after(
+            self._liveness_timeout
+        ):
+            return
         state.bootstrap_timer = self.host.call_after(
             self._liveness_timeout,
             lambda: self._on_bootstrap_timeout(state.fuse_id),
@@ -439,9 +441,14 @@ class FuseService:
     # Liveness links and piggybacked hashes
     # ------------------------------------------------------------------
     def _ensure_link(self, state: GroupState, neighbor: NodeId) -> None:
+        # Resetting a live timer in place reuses its callback closure and
+        # handle; this runs once per shared group per ping/ack, so it is
+        # the hottest timer path in steady state.  Safe because group
+        # state never survives a crash, so the closure's incarnation
+        # guard always matches the current incarnation.
         existing = state.links.get(neighbor)
-        if existing is not None:
-            existing.cancel()
+        if existing is not None and existing.reschedule_after(self._liveness_timeout):
+            return
         state.links[neighbor] = self._make_link_timer(state.fuse_id, neighbor)
 
     def _make_link_timer(self, fuse_id: FuseId, neighbor: NodeId):
@@ -764,7 +771,7 @@ class FuseService:
         """Root<->member control traffic: direct (paper default) or routed
         through the overlay (ablation, DESIGN.md §5)."""
         if dst_id == self.host.node_id:
-            self.sim.call_soon(lambda: self.host.deliver(self._stamp_self(msg)))
+            self.sim.schedule_soon(lambda: self.host.deliver(self._stamp_self(msg)))
             return
         if self.config.direct_root_member:
             self.host.send(dst_id, msg, on_fail=on_fail)

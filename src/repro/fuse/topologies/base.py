@@ -136,7 +136,7 @@ class AlternativeFuseBase:
         self._group_installed(group)
         others = group.peers(self.host.node_id)
         if not others:
-            self.sim.call_soon(lambda: on_complete(fuse_id, "ok"))
+            self.sim.schedule_soon(lambda: on_complete(fuse_id, "ok"))
             return fuse_id
         awaiting = set(others)
         failed = [False]
@@ -174,7 +174,7 @@ class AlternativeFuseBase:
     def register_failure_handler(self, fuse_id: FuseId, handler: FailureHandler) -> None:
         group = self.groups.get(fuse_id)
         if group is None:
-            self.sim.call_soon(lambda: handler(fuse_id))
+            self.sim.schedule_soon(lambda: handler(fuse_id))
             return
         group.handler = handler
 

@@ -184,7 +184,7 @@ class CentralServerFuse:
             on_complete(fuse_id, "ok")
 
         if not others:
-            self.sim.call_soon(finish)
+            self.sim.schedule_soon(finish)
             return fuse_id
 
         def on_reply(member: NodeId):
@@ -222,7 +222,7 @@ class CentralServerFuse:
     def register_failure_handler(self, fuse_id: FuseId, handler: FailureHandler) -> None:
         group = self.groups.get(fuse_id)
         if group is None:
-            self.sim.call_soon(lambda: handler(fuse_id))
+            self.sim.schedule_soon(lambda: handler(fuse_id))
             return
         group.handler = handler
 

@@ -28,6 +28,15 @@ class Message:
     # Filled in by the network at send time.
     sender: Optional[NodeId] = None
 
+    # The network shallow-copies each message at send time so stamping the
+    # sender (and any receiver-side mutation) cannot leak back into an
+    # object the caller still holds.  Message classes that are constructed
+    # fresh for exactly one send and never touched again by the sender may
+    # set this False to skip that copy — the high-rate liveness traffic
+    # (pings/acks) does.  Leave it True for anything a caller retains,
+    # re-sends, or that receivers mutate (e.g. routed envelopes).
+    copy_on_send: bool = True
+
     @property
     def type_name(self) -> str:
         return type(self).__name__

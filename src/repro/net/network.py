@@ -11,7 +11,7 @@ gives FUSE and SkipNet.
 from __future__ import annotations
 
 import copy
-from typing import Callable, Dict, FrozenSet, Optional, Set, TYPE_CHECKING
+from typing import Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.net.address import NodeId
 from repro.net.faults import FaultInjector
@@ -44,7 +44,9 @@ class Network:
         self.config = config or TransportConfig()
         self.faults = faults or FaultInjector()
         self._hosts: Dict[NodeId, "Host"] = {}
-        self._connections: Set[FrozenSet[NodeId]] = set()
+        # Connection pairs are normalized (min, max) tuples: cheaper to
+        # build and hash than the frozenset keys they replaced.
+        self._connections: Set[Tuple[NodeId, NodeId]] = set()
         self._send_busy_until: Dict[NodeId, float] = {}
         self._rng = sim.rng.stream("net.transport")
         # Hot-path caches: counter objects are resolved once here instead
@@ -105,7 +107,7 @@ class Network:
         self._connections = {pair for pair in self._connections if node_id not in pair}
 
     def has_connection(self, a: NodeId, b: NodeId) -> bool:
-        return frozenset((a, b)) in self._connections
+        return ((a, b) if a <= b else (b, a)) in self._connections
 
     # ------------------------------------------------------------------
     # Sending
@@ -126,9 +128,10 @@ class Network:
         """
         if src == dst:
             raise ValueError("host cannot send a network message to itself")
-        if src not in self._hosts or dst not in self._hosts:
+        hosts = self._hosts
+        sender = hosts.get(src)
+        if sender is None or dst not in hosts:
             raise KeyError(f"unknown endpoint in send {src}->{dst}")
-        sender = self._hosts[src]
         if not sender.alive:
             return  # a dead process sends nothing
 
@@ -150,9 +153,12 @@ class Network:
         self._send_busy_until[src] = inject_time
 
         route = self.routes.route(src, dst)
-        pair = frozenset((src, dst))
+        pair = (src, dst) if src <= dst else (dst, src)
         first_contact = pair not in self._connections
-        payload = copy.copy(message)
+        # Messages built fresh for exactly one send opt out of the
+        # isolation copy (see Message.copy_on_send); stamping the sender
+        # on them directly is then safe.
+        payload = copy.copy(message) if message.copy_on_send else message
         payload.sender = src
 
         state = _SendAttemptState(
@@ -166,14 +172,14 @@ class Network:
             src_incarnation=sender.incarnation,
         )
         label = f"tx:{type_name}" if self._tracing else ""
-        self.sim.call_at(inject_time, state.attempt, label=label)
+        self.sim.schedule_at(inject_time, state.attempt, label=label)
 
     # Internal: called by _SendAttemptState on success of the first segment.
     def _mark_connected(self, a: NodeId, b: NodeId) -> None:
-        self._connections.add(frozenset((a, b)))
+        self._connections.add((a, b) if a <= b else (b, a))
 
     def _break_connection(self, a: NodeId, b: NodeId) -> None:
-        self._connections.discard(frozenset((a, b)))
+        self._connections.discard((a, b) if a <= b else (b, a))
 
     def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:
         receiver = self._hosts[dst]
@@ -259,7 +265,7 @@ class _SendAttemptState:
                 extra = net.config.connection_setup_rtts * 2.0 * latency
                 net._mark_connected(self.src, self.dst)
             arrival = sim.now + extra + latency + jitter + net.config.recv_overhead_ms
-            sim.call_at(
+            sim.schedule_at(
                 arrival,
                 self.deliver_cb,
                 label=f"rx:{self.message.type_name}" if tracing else "",
@@ -271,7 +277,7 @@ class _SendAttemptState:
             self.attempt_index += 1
             delay = self.rto_ms
             self.rto_ms *= net.config.rto_backoff
-            sim.call_after(
+            sim.schedule_after(
                 delay,
                 self.attempt,
                 label=f"rtx:{self.message.type_name}" if tracing else "",
@@ -283,7 +289,7 @@ class _SendAttemptState:
         net._ctr_breaks.increment()
         if self.on_fail is not None:
             on_fail = self.on_fail
-            sim.call_after(
+            sim.schedule_after(
                 self.rto_ms,
                 lambda: self._report_failure(on_fail),
                 label=f"brk:{self.message.type_name}" if tracing else "",

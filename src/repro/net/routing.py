@@ -16,29 +16,73 @@ from repro.net.topology import Link, Topology
 
 
 class Route:
-    """A resolved host-to-host route."""
+    """A resolved host-to-host route.
 
-    __slots__ = ("src", "dst", "links", "latency_ms", "loss_static")
+    ``current_loss``/``current_latency`` serve cached values validated
+    against the topology's generation counter instead of re-walking the
+    link list on every transmission; the cache refreshes the first time
+    it is read after any link mutation (e.g. ``set_uniform_loss``), so
+    experiments can still flip loss on after routes are cached.
+    """
 
-    def __init__(self, src: NodeId, dst: NodeId, links: Sequence[Link]) -> None:
+    __slots__ = (
+        "src",
+        "dst",
+        "links",
+        "latency_ms",
+        "loss_static",
+        "_topology",
+        "_cache_generation",
+        "_cached_latency",
+        "_cached_loss",
+    )
+
+    def __init__(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        links: Sequence[Link],
+        topology: Optional[Topology] = None,
+    ) -> None:
         self.src = src
         self.dst = dst
         self.links = tuple(links)
         self.latency_ms = Topology.path_latency(self.links)
-        # Loss captured at build time; current_loss() re-reads the links so
-        # experiments can flip loss on after routes are cached.
+        # Loss captured at build time, for experiments reporting the
+        # route's nominal compound loss (Fig 11's derived column).
         self.loss_static = Topology.path_loss(self.links)
+        self._topology = topology
+        self._cache_generation = topology.generation if topology is not None else -1
+        self._cached_latency = self.latency_ms
+        self._cached_loss = self.loss_static
 
     @property
     def hop_count(self) -> int:
         """Number of links traversed (the paper's 'route hops')."""
         return len(self.links)
 
+    def _refresh_cache(self, generation: int) -> None:
+        self._cached_latency = Topology.path_latency(self.links)
+        self._cached_loss = Topology.path_loss(self.links)
+        self._cache_generation = generation
+
     def current_loss(self) -> float:
-        return Topology.path_loss(self.links)
+        topology = self._topology
+        if topology is None:
+            return Topology.path_loss(self.links)
+        generation = topology.generation
+        if generation != self._cache_generation:
+            self._refresh_cache(generation)
+        return self._cached_loss
 
     def current_latency(self) -> float:
-        return Topology.path_latency(self.links)
+        topology = self._topology
+        if topology is None:
+            return Topology.path_latency(self.links)
+        generation = topology.generation
+        if generation != self._cache_generation:
+            self._refresh_cache(generation)
+        return self._cached_latency
 
     def __repr__(self) -> str:
         return (
@@ -106,13 +150,13 @@ class RouteTable:
             return cached
         reverse = self._routes.get((dst, src))
         if reverse is not None:
-            route = Route(src, dst, tuple(reversed(reverse.links)))
+            route = Route(src, dst, tuple(reversed(reverse.links)), self._topo)
         else:
             router_path = self.router_path(
                 self._topo.host_router(src), self._topo.host_router(dst)
             )
             links = self._topo.route_links(src, dst, router_path)
-            route = Route(src, dst, links)
+            route = Route(src, dst, links, self._topo)
         self._routes[(src, dst)] = route
         return route
 

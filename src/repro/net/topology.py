@@ -71,6 +71,23 @@ class Topology:
         self._host_router: Dict[NodeId, int] = {}
         self._host_access: Dict[NodeId, Link] = {}
         self._next_router = 0
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Counter bumped on every link mutation.
+
+        Cached route properties (:meth:`repro.net.routing.Route.current_loss`
+        and friends) compare against this to decide whether their snapshot
+        is still valid.  Code that mutates a :class:`Link` directly —
+        rather than through :meth:`set_uniform_loss`/:meth:`set_link_loss`
+        or the construction API — must call :meth:`touch` afterwards.
+        """
+        return self._generation
+
+    def touch(self) -> None:
+        """Invalidate link-derived caches after a direct Link mutation."""
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # Construction
@@ -94,6 +111,7 @@ class Topology:
         self._links[key] = link
         self._adjacency[a][b] = link
         self._adjacency[b][a] = link
+        self._generation += 1
         return link
 
     def attach_host(self, host: NodeId, router: int, access_latency_ms: float = 1.0) -> None:
@@ -104,6 +122,7 @@ class Topology:
             raise ValueError(f"host {host} already attached")
         self._host_router[host] = router
         self._host_access[host] = Link(-1 - host, router, access_latency_ms, LinkKind.ACCESS)
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -155,6 +174,14 @@ class Topology:
         for link in self._host_access.values():
             if wanted is None or link.kind in wanted:
                 link.loss = loss
+        self._generation += 1
+
+    def set_link_loss(self, link: Link, loss: float) -> None:
+        """Set one link's loss probability, invalidating route caches."""
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"link loss must be in [0, 1): {loss}")
+        link.loss = loss
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # Route-derived properties

@@ -18,6 +18,9 @@ class OverlayPing(Message):
     hash rides here), so its nominal size is ping + hash."""
 
     size_bytes = 64 + 20
+    # Built fresh per send and never touched again by the sender; the
+    # dominant steady-state traffic, so it skips the per-send copy.
+    copy_on_send = False
 
     def __init__(self, nonce: int, payload: Optional[OverlayPayload] = None) -> None:
         self.nonce = nonce
@@ -28,6 +31,7 @@ class OverlayPingAck(Message):
     """Acknowledges a ping; also carries the responder's piggyback."""
 
     size_bytes = 64 + 20
+    copy_on_send = False
 
     def __init__(self, nonce: int, payload: Optional[OverlayPayload] = None) -> None:
         self.nonce = nonce

@@ -12,9 +12,16 @@ virtual time.
 """
 
 from repro.sim.clock import Clock
-from repro.sim.events import Event, EventQueue, TimerHandle
+from repro.sim.events import EventEntry, EventQueue, TimerHandle
 from repro.sim.kernel import Simulator
-from repro.sim.metrics import CdfSeries, Counter, Histogram, MetricsRegistry, percentile
+from repro.sim.metrics import (
+    CdfSeries,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+    percentile_sorted,
+)
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceLog, TraceRecord
 
@@ -22,7 +29,7 @@ __all__ = [
     "CdfSeries",
     "Clock",
     "Counter",
-    "Event",
+    "EventEntry",
     "EventQueue",
     "Histogram",
     "MetricsRegistry",
@@ -32,4 +39,5 @@ __all__ = [
     "TraceLog",
     "TraceRecord",
     "percentile",
+    "percentile_sorted",
 ]

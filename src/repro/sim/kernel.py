@@ -12,10 +12,25 @@ The kernel is single-threaded and deterministic: given the same seed and
 the same sequence of schedule calls, every run dispatches events in the
 same order.  Determinism is what makes the protocol tests and the failure
 injection experiments reproducible.
+
+Two scheduling surfaces exist:
+
+* ``call_at`` / ``call_after`` / ``call_soon`` return a
+  :class:`TimerHandle` for callers that cancel or reschedule timers.
+* ``schedule_at`` / ``schedule_after`` / ``schedule_soon`` are the
+  fire-and-forget fast path — no handle is materialized, so scheduling
+  allocates nothing beyond the heap tuple.  The network transmit/delivery
+  path lives here.
+
+``run()`` is the hot loop: it pops and dispatches straight off the heap
+(shedding cancelled entries inline) instead of doing a peek pass plus a
+pop pass per event; ``step()`` remains as the single-event compatibility
+wrapper used by synchronous drivers.
 """
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import Any, Callable, Optional
 
 from repro.sim.clock import Clock
@@ -53,11 +68,13 @@ class Simulator:
 
     def call_at(self, when: float, callback: Callable[[], Any], label: str = "") -> TimerHandle:
         """Schedule ``callback`` at absolute virtual time ``when`` (ms)."""
-        if when < self.clock.now:
+        clock = self.clock
+        if when < clock.now:
             raise ValueError(
-                f"cannot schedule in the past: now={self.clock.now} when={when}"
+                f"cannot schedule in the past: now={clock.now} when={when}"
             )
-        return TimerHandle(self.queue.push(when, callback, label))
+        queue = self.queue
+        return TimerHandle(queue, clock, queue.push(when, callback, label), when, callback, label)
 
     def call_after(self, delay: float, callback: Callable[[], Any], label: str = "") -> TimerHandle:
         """Schedule ``callback`` after ``delay`` milliseconds of virtual time."""
@@ -70,21 +87,38 @@ class Simulator:
         same-time events already in the queue)."""
         return self.call_at(self.clock.now, callback, label)
 
+    def schedule_at(self, when: float, callback: Callable[[], Any], label: str = "") -> None:
+        """Fire-and-forget ``call_at``: no :class:`TimerHandle` is created,
+        so the event cannot be cancelled or rescheduled.  Hot paths that
+        never keep the handle (e.g. network transmissions) use this."""
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self.clock.now} when={when}"
+            )
+        self.queue.push(when, callback, label)
+
+    def schedule_after(self, delay: float, callback: Callable[[], Any], label: str = "") -> None:
+        """Fire-and-forget ``call_after``."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.queue.push(self.clock.now + delay, callback, label)
+
+    def schedule_soon(self, callback: Callable[[], Any], label: str = "") -> None:
+        """Fire-and-forget ``call_soon``."""
+        self.queue.push(self.clock.now, callback, label)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch a single event.  Returns False when the queue is empty."""
-        event = self.queue.pop()
-        if event is None:
+        entry = self.queue.pop()
+        if entry is None:
             return False
-        self.clock.advance_to(event.when)
-        callback = event.callback
-        # Mark consumed so any TimerHandle pointing here reads inactive.
-        event.cancel()
+        self.clock.advance_to(entry[0])
         if self.trace is not None:
-            self.trace.record("dispatch", event.label)
-        callback()
+            self.trace.record("dispatch", entry[3])
+        entry[2]()
         self._dispatched += 1
         return True
 
@@ -101,20 +135,41 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         dispatched = 0
+        # The dispatch loop works the heap directly: one pop per event,
+        # cancelled entries shed inline, the until/max_events guards and
+        # the clock advance inlined.  The queue invariants (pending-set
+        # liveness, seq tie-breaking) are shared with EventQueue.pop().
+        queue = self.queue
+        heap = queue._heap
+        pending = queue._pending
+        clock = self.clock
+        trace = self.trace
+        pop = heappop
         try:
-            while not self._stop_requested:
-                if max_events is not None and dispatched >= max_events:
+            while heap and not self._stop_requested:
+                if dispatched == max_events:
                     break
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                entry = heap[0]
+                seq = entry[1]
+                if seq not in pending:
+                    pop(heap)  # cancelled: shed lazily, no dispatch
+                    continue
+                when = entry[0]
+                if until is not None and when > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                pop(heap)
+                pending.remove(seq)
+                # Heap order plus the no-past-scheduling guard make this
+                # monotonic, so the Clock.advance_to check is skipped.
+                clock._now = when
+                if trace is not None:
+                    trace.record("dispatch", entry[3])
+                entry[2]()
                 dispatched += 1
-            if until is not None and until > self.clock.now and not self._stop_requested:
-                self.clock.advance_to(until)
+            if until is not None and until > clock._now and not self._stop_requested:
+                clock._now = until
         finally:
+            self._dispatched += dispatched
             self._running = False
         return dispatched
 

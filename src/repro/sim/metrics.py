@@ -18,17 +18,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.sim.clock import Clock
 
 
-def percentile(samples: Sequence[float], pct: float) -> float:
-    """Linear-interpolation percentile of ``samples`` (pct in [0, 100]).
+def percentile_sorted(ordered: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sequence.
 
-    Matches ``numpy.percentile``'s default "linear" method so results can
-    be cross-checked, but avoids requiring numpy in the core library.
+    The workhorse behind :func:`percentile` and the histogram summaries:
+    callers that need several quantiles sort once and query this
+    repeatedly instead of re-sorting per quantile.
     """
-    if not samples:
+    if not ordered:
         raise ValueError("percentile of empty sample set")
     if not 0.0 <= pct <= 100.0:
         raise ValueError(f"percentile out of range: {pct}")
-    ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
     rank = (pct / 100.0) * (len(ordered) - 1)
@@ -40,6 +40,15 @@ def percentile(samples: Sequence[float], pct: float) -> float:
     # low + frac*(high-low) rather than a convex combination: exact when
     # the two neighbors are equal, so percentile stays monotone in pct.
     return ordered[low] + frac * (ordered[high] - ordered[low])
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (pct in [0, 100]).
+
+    Matches ``numpy.percentile``'s default "linear" method so results can
+    be cross-checked, but avoids requiring numpy in the core library.
+    """
+    return percentile_sorted(sorted(samples), pct)
 
 
 class Counter:
@@ -83,19 +92,36 @@ class Counter:
 
 
 class Histogram:
-    """Collects latency samples and reports percentile statistics."""
+    """Collects latency samples and reports percentile statistics.
 
-    __slots__ = ("name", "samples")
+    Quantile queries share one sorted copy of the samples, invalidated
+    when new samples arrive — ``summary()`` and repeated ``pct()`` calls
+    sort once instead of once per quantile.
+    """
+
+    __slots__ = ("name", "samples", "_ordered")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.samples: List[float] = []
+        self._ordered: Optional[List[float]] = None
 
     def add(self, value: float) -> None:
         self.samples.append(value)
+        self._ordered = None
 
     def extend(self, values: Iterable[float]) -> None:
         self.samples.extend(values)
+        self._ordered = None
+
+    def _sorted_samples(self) -> List[float]:
+        ordered = self._ordered
+        # The length guard also catches direct appends to the public
+        # ``samples`` list, which bypass add()/extend() invalidation.
+        if ordered is None or len(ordered) != len(self.samples):
+            ordered = sorted(self.samples)
+            self._ordered = ordered
+        return ordered
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -110,23 +136,32 @@ class Histogram:
         return sum(self.samples) / len(self.samples)
 
     def min(self) -> float:
-        return min(self.samples)
+        ordered = self._sorted_samples()
+        if not ordered:
+            raise ValueError(f"min() of empty histogram {self.name!r}")
+        return ordered[0]
 
     def max(self) -> float:
-        return max(self.samples)
+        ordered = self._sorted_samples()
+        if not ordered:
+            raise ValueError(f"max() of empty histogram {self.name!r}")
+        return ordered[-1]
 
     def pct(self, p: float) -> float:
-        return percentile(self.samples, p)
+        return percentile_sorted(self._sorted_samples(), p)
 
     def summary(self) -> Dict[str, float]:
         """The quartile summary used by the Fig 7 / Fig 8 style bar charts."""
+        ordered = self._sorted_samples()
+        if not ordered:
+            raise ValueError(f"summary() of empty histogram {self.name!r}")
         return {
-            "count": float(len(self.samples)),
-            "min": self.min(),
-            "p25": self.pct(25),
-            "p50": self.pct(50),
-            "p75": self.pct(75),
-            "max": self.max(),
+            "count": float(len(ordered)),
+            "min": ordered[0],
+            "p25": percentile_sorted(ordered, 25),
+            "p50": percentile_sorted(ordered, 50),
+            "p75": percentile_sorted(ordered, 75),
+            "max": ordered[-1],
             "mean": self.mean(),
         }
 

@@ -1,0 +1,76 @@
+"""The canonical workload used by the golden dispatch-trace fixture.
+
+``run_golden_scenario`` drives a deterministic FUSE deployment through
+bootstrap, group creation, crashes, a disconnect, an explicit signal, and
+a long settle window — touching every scheduling surface the kernel
+offers (call_at/call_after/call_soon, cancellation, timer reschedule,
+retransmission backoff) — and reduces the run to a digest of the full
+dispatch trace plus the metrics and notification times experiments report.
+
+``tests/make_golden_trace.py`` ran this scenario against the pre-rewrite
+event core and committed the result as ``tests/data/golden_dispatch.json``;
+``tests/test_hotpath_determinism.py`` re-runs it against the current core
+and requires byte-identical results.  Regenerate the fixture only when a
+deliberate behavior change is being made, and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.world import FuseWorld
+
+GOLDEN_SEED = 1234
+
+
+def run_golden_scenario(seed: int = GOLDEN_SEED) -> Dict:
+    world = FuseWorld(n_nodes=30, seed=seed, trace=True)
+    world.bootstrap()
+
+    notifications: List[tuple] = []
+    for node_id in world.node_ids:
+        world.fuse(node_id).observe_notifications(
+            lambda fid, reason, n=node_id: notifications.append(
+                (world.sim.now, n, fid, reason)
+            )
+        )
+
+    rng = world.sim.rng.stream("golden-workload")
+    groups = []
+    for _ in range(10):
+        root, *members = rng.sample(world.node_ids, 5)
+        fid, status, _latency = world.create_group_sync(root, members)
+        groups.append((fid, status))
+    world.run_for_minutes(3.0)
+
+    world.crash(world.node_ids[3])
+    world.run_for_minutes(2.0)
+    world.disconnect(world.node_ids[11])
+    world.run_for_minutes(2.0)
+    world.crash(world.node_ids[17])
+    for fid, status in groups:
+        if status == "ok":
+            world.fuse(world.node_ids[0]).signal_failure(fid)
+            break
+    world.run_for_minutes(12.0)
+
+    digest = hashlib.sha256()
+    for rec in world.sim.trace:
+        digest.update(f"{rec.time!r}|{rec.category}|{rec.message}\n".encode())
+
+    return {
+        "seed": seed,
+        "trace_records": len(world.sim.trace),
+        "trace_sha256": digest.hexdigest(),
+        "events_dispatched": world.sim.events_dispatched,
+        "final_time_ms": world.sim.now,
+        "counters": {
+            name: counter.value
+            for name, counter in sorted(world.sim.metrics.counters().items())
+        },
+        "group_status": [status for _fid, status in groups],
+        "notifications": [
+            [t, int(node), fid, reason] for t, node, fid, reason in sorted(notifications)
+        ],
+    }

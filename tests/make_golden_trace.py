@@ -1,0 +1,36 @@
+"""Regenerate tests/data/golden_dispatch.json from the current event core.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/make_golden_trace.py
+
+The committed fixture was produced by the event core *before* the
+tuple-heap rewrite; ``tests/test_hotpath_determinism.py`` proves the
+rewritten core reproduces it exactly.  Only regenerate after a deliberate,
+explained behavior change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from golden_scenario import run_golden_scenario  # noqa: E402
+
+OUT = pathlib.Path(__file__).resolve().parent / "data" / "golden_dispatch.json"
+
+
+def main() -> int:
+    result = run_golden_scenario()
+    OUT.parent.mkdir(exist_ok=True)
+    OUT.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}: {result['trace_records']} trace records, "
+          f"{result['events_dispatched']} events, sha={result['trace_sha256'][:16]}...")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

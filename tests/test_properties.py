@@ -19,8 +19,8 @@ class TestEventOrderingProperties:
         fired = []
         for t in times:
             q.push(t, lambda t=t: fired.append(t))
-        while (event := q.pop()) is not None:
-            event.callback()
+        while (entry := q.pop()) is not None:
+            entry[2]()
         assert fired == sorted(times)
 
     @given(
@@ -29,16 +29,16 @@ class TestEventOrderingProperties:
     )
     def test_cancellation_removes_exactly_the_cancelled(self, times, data):
         q = EventQueue()
-        events = [q.push(t, lambda: None) for t in times]
+        seqs = [q.push(t, lambda: None) for t in times]
         to_cancel = data.draw(
-            st.sets(st.integers(min_value=0, max_value=len(events) - 1))
+            st.sets(st.integers(min_value=0, max_value=len(seqs) - 1))
         )
         for index in to_cancel:
-            events[index].cancel()
+            q.cancel(seqs[index])
         survivors = []
-        while (event := q.pop()) is not None:
-            survivors.append(event)
-        assert len(survivors) == len(events) - len(to_cancel)
+        while (entry := q.pop()) is not None:
+            survivors.append(entry)
+        assert len(survivors) == len(seqs) - len(to_cancel)
 
     @given(st.integers(min_value=0, max_value=2**32))
     def test_simulator_clock_never_goes_backwards(self, seed):

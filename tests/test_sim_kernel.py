@@ -36,10 +36,10 @@ class TestEventQueue:
         q.push(10.0, lambda: fired.append("a"))
         q.push(20.0, lambda: fired.append("b"))
         while True:
-            event = q.pop()
-            if event is None:
+            entry = q.pop()
+            if entry is None:
                 break
-            event.callback()
+            entry[2]()
         assert fired == ["a", "b", "c"]
 
     def test_tie_break_by_insertion_order(self):
@@ -47,16 +47,17 @@ class TestEventQueue:
         fired = []
         for tag in "abcde":
             q.push(5.0, lambda t=tag: fired.append(t))
-        while (event := q.pop()) is not None:
-            event.callback()
+        while (entry := q.pop()) is not None:
+            entry[2]()
         assert fired == list("abcde")
 
     def test_cancelled_events_skipped(self):
         q = EventQueue()
         keep = q.push(1.0, lambda: None, label="keep")
         drop = q.push(0.5, lambda: None, label="drop")
-        drop.cancel()
-        assert q.pop() is keep
+        assert q.cancel(drop)
+        popped = q.pop()
+        assert popped is not None and popped[1] == keep
         assert q.pop() is None
 
     def test_len_tracks_live_events(self):
@@ -64,18 +65,18 @@ class TestEventQueue:
         e1 = q.push(1.0, lambda: None)
         q.push(2.0, lambda: None)
         assert len(q) == 2
-        e1.cancel()
-        q.peek_time()  # forces lazy cleanup
+        q.cancel(e1)
+        q.peek_time()  # forces lazy cleanup of the heap entry
         assert len(q) == 1
 
     def test_len_reflects_cancellation_immediately(self):
         """Regression: cancel() must update len() even though the heap
         entry is only dropped lazily at pop time."""
         q = EventQueue()
-        events = [q.push(float(i), lambda: None) for i in range(4)]
-        events[2].cancel()
+        seqs = [q.push(float(i), lambda: None) for i in range(4)]
+        assert q.cancel(seqs[2])
         assert len(q) == 3  # no peek/pop in between
-        events[2].cancel()  # idempotent: no double decrement
+        assert not q.cancel(seqs[2])  # idempotent: no double decrement
         assert len(q) == 3
         # Popping the remaining events drains the count to zero.
         while q.pop() is not None:
@@ -85,19 +86,21 @@ class TestEventQueue:
     def test_len_after_pop_then_cancel(self):
         """Cancelling an already-popped event must not corrupt len()."""
         q = EventQueue()
-        q.push(1.0, lambda: None)
+        first = q.push(1.0, lambda: None)
         q.push(2.0, lambda: None)
         popped = q.pop()
+        assert popped is not None and popped[1] == first
         assert len(q) == 1
-        popped.cancel()  # the kernel does this to mark events consumed
+        assert not q.cancel(first)  # already fired: a no-op
         assert len(q) == 1
 
     def test_clear_detaches_events(self):
         q = EventQueue()
-        handle = q.push(1.0, lambda: None)
+        seq = q.push(1.0, lambda: None)
         q.clear()
         assert len(q) == 0
-        handle.cancel()  # must not drive the live count negative
+        assert not q.is_active(seq)
+        assert not q.cancel(seq)  # must not drive the live count negative
         assert len(q) == 0
 
     def test_peek_time(self):
