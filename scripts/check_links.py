@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fail on broken relative links in markdown files.
+
+Usage:  python scripts/check_links.py README.md docs/*.md
+
+Checks every inline markdown link ``[text](target)``:
+
+* ``http(s)://`` / ``mailto:`` targets are skipped (no network in CI);
+* pure-anchor targets (``#section``) are checked against the same
+  file's headings;
+* relative paths must exist on disk (resolved against the file's
+  directory); a ``path#anchor`` target additionally checks the anchor
+  against the target markdown file's headings.
+
+Exit status is the number of broken links (0 = all good).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Set
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (lowercase, spaces to dashes,
+    punctuation dropped)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", slug)
+
+
+def anchors_of(path: pathlib.Path) -> Set[str]:
+    text = path.read_text(encoding="utf-8")
+    return {github_anchor(h) for h in HEADING_RE.findall(CODE_FENCE_RE.sub("", text))}
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    errors: List[str] = []
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors_of(path):
+                errors.append(f"{path}: broken anchor {target!r}")
+            continue
+        rel, _, anchor = target.partition("#")
+        dest = (path.parent / rel).resolve()
+        if not dest.exists():
+            errors.append(f"{path}: broken link {target!r} (no {dest})")
+            continue
+        if anchor and dest.suffix == ".md" and github_anchor(anchor) not in anchors_of(dest):
+            errors.append(f"{path}: broken anchor {target!r} (not a heading in {rel})")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    errors: List[str] = []
+    for name in argv:
+        path = pathlib.Path(name)
+        if not path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"link check ok: {len(argv)} file(s)")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

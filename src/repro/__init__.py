@@ -20,7 +20,12 @@ Package map:
 * :mod:`repro.overlay` -- SkipNet structured overlay;
 * :mod:`repro.fuse`    -- the FUSE failure-notification service itself;
 * :mod:`repro.apps`    -- SV-tree event delivery and other applications;
+* :mod:`repro.engine`  -- shared trial engine (sweeps x seeds x processes);
+* :mod:`repro.scenarios` -- declarative, composable fault timelines;
 * :mod:`repro.experiments` -- drivers reproducing every figure/table.
+
+The layer map with per-module paper-section cross-references lives in
+``docs/ARCHITECTURE.md``; the scenario DSL in ``docs/SCENARIOS.md``.
 """
 
 from repro.fuse import FuseConfig, FuseId, FuseService

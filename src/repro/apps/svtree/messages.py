@@ -1,4 +1,9 @@
-"""SV-tree wire messages."""
+"""SV-tree wire messages.
+
+Paper cross-reference: §4 — subscribe/adopt/content traffic of the
+Subscriber/Volunteer trees; each content link's fate is shared with a
+FUSE group, which is the design pattern §4 demonstrates.
+"""
 
 from __future__ import annotations
 

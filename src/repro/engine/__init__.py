@@ -1,6 +1,13 @@
 """Shared trial engine: declarative sweeps, multi-core execution, unified
 aggregation.
 
+Paper cross-reference: this is the §7 evaluation *methodology* layer —
+the paper reports each figure over repeated runs with controlled
+parameters; here that becomes an explicit grid × seeds decomposition
+with machine-checkable serial/parallel equivalence.  The figures
+themselves live in :mod:`repro.experiments`; open-ended fault timelines
+run through the same engine via :mod:`repro.scenarios`.
+
 Every experiment in :mod:`repro.experiments` is expressed as:
 
 1. a **trial function** — a module-level callable building one isolated

@@ -11,6 +11,10 @@ The worker entry point is :func:`repro.engine.trial.run_trial` partially
 applied to the experiment's module-level trial function, so everything the
 pool ships is picklable by reference.  ``fork`` is preferred when the
 platform offers it (cheap on Linux); ``spawn`` is the fallback.
+
+Paper cross-reference: §7 methodology — regenerating the paper's
+evaluation is embarrassingly parallel across runs; this module is the
+``--jobs`` flag behind every experiment and scenario CLI.
 """
 
 from __future__ import annotations

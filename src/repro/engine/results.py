@@ -14,6 +14,10 @@ the operations every experiment's reporting needs:
 
 Aggregation is always performed in trial-index order, so a parallel run
 aggregates to exactly the same numbers as a serial one.
+
+Paper cross-reference: §7 — the reductions here are the paper's three
+reporting shapes (rates over a window for Fig 10/§7.5, percentile bars
+for Figs 7-8, CDFs for Figs 6/9/11) applied over merged trials.
 """
 
 from __future__ import annotations

@@ -9,6 +9,10 @@ Seed derivation is position-independent: a trial's seed depends only on
 the experiment name, the base seed, and the trial's own grid point — not
 on how many other axes or seeds the sweep has.  Adding a grid value or an
 extra seed therefore never perturbs the worlds of existing trials.
+
+Paper cross-reference: §7 methodology — the paper varies group size
+(Figs 7, 8), loss rate (Figs 11, 12), and scenario (Fig 10) axis by
+axis; a :class:`Sweep` is that experimental design made declarative.
 """
 
 from __future__ import annotations

@@ -12,6 +12,10 @@ Measurement values must be JSON-serializable: scalars (int/float/str/bool)
 or flat lists of them.  Lists are treated as *sample series* by the
 aggregation layer (concatenated across trials); scalars are collected and
 reduced (summed or averaged).
+
+Paper cross-reference: §7 methodology — one trial is one "run" of a §7
+experiment (or of a :mod:`repro.scenarios` timeline) at one parameter
+point under one seed.
 """
 
 from __future__ import annotations

@@ -17,6 +17,14 @@ doubles the message rate; and no FUSE group suffers a false positive.
 Engine decomposition: the three measurements are a three-point grid over
 ``scenario`` — each builds its own world, so they regenerate concurrently
 under ``--jobs``.
+
+Since the scenario layer landed, this module is a thin wrapper: each
+grid point builds the matching declarative scenario
+(:func:`repro.scenarios.fig10_scenario` — a Poisson churn track with the
+paper's pre-killed steady-state population, plus a root-observed group
+workload for the ``churn-fuse`` variant) and executes it.  Stream names
+and track order replicate the original hand-written trial's RNG draw
+sequence, so measurements are unchanged.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
-from repro.world import FuseWorld
+from repro.scenarios import execute, fig10_scenario
 
 EXPERIMENT = "fig10"
 
@@ -87,80 +95,15 @@ class ChurnResult:
         )
 
 
-def _start_churn(world: FuseWorld, churners: List[int], half_life_ms: float, stop_at: float) -> None:
-    """Kill/restart churners so roughly half are alive at any time.
-
-    Each churner alternates alive/dead with exponentially distributed
-    dwell times whose mean equals the half-life target.
-    """
-    rng = world.sim.rng.stream("churn-schedule")
-    mean_dwell = half_life_ms / 2.0
-
-    def schedule_flip(node: int) -> None:
-        delay = rng.expovariate(1.0 / mean_dwell)
-        when = world.sim.now + delay
-        if when >= stop_at:
-            return
-        world.sim.call_at(when, lambda: flip(node))
-
-    def flip(node: int) -> None:
-        host = world.host(node)
-        if host.alive:
-            world.crash(node)
-        else:
-            world.restart(node)
-        schedule_flip(node)
-
-    for node in churners:
-        schedule_flip(node)
-
-
 def _trial(spec: TrialSpec) -> Measurements:
     config: ChurnConfig = spec.context
-    scenario = spec["scenario"]
-    window_ms = config.window_minutes * 60_000.0
-    half_life_ms = config.half_life_minutes * 60_000.0
-
-    if scenario == "stable":
-        # Stable overlay sized like the churn average.
-        n_avg = config.n_stable + config.n_churning // 2
-        world = FuseWorld(n_nodes=n_avg, seed=spec.seed)
-        world.bootstrap()
-        world.sim.metrics.reset_counters()
-        world.run_for(window_ms)
-        rate = world.sim.metrics.counter("net.messages").rate_per_second(window_ms)
-        return {"msgs_per_sec": rate, "false_positives": 0, "groups_created": 0}
-
-    world = FuseWorld(n_nodes=config.n_stable + config.n_churning, seed=spec.seed)
-    world.bootstrap()
-    stable = world.node_ids[: config.n_stable]
-    churners = world.node_ids[config.n_stable :]
-
-    groups_created = 0
-    notified: List[str] = []
-    if scenario == "churn-fuse":
-        rng = world.sim.rng.stream("churn-groups")
-        for _ in range(config.n_groups):
-            root, *members = rng.sample(stable, config.group_size)
-            fid, status, _ = world.create_group_sync(root, members)
-            if status == "ok":
-                groups_created += 1
-                world.fuse(root).observe_notifications(
-                    lambda f, reason, fid=fid: notified.append(f) if f == fid else None
-                )
-
-    # Pre-kill half the churners so the average population holds.
-    for node in churners[::2]:
-        world.crash(node)
-    world.run_for_minutes(3.0)
-    _start_churn(world, churners, half_life_ms, stop_at=world.now + window_ms + 1)
-    world.sim.metrics.reset_counters()
-    world.run_for(window_ms)
-    rate = world.sim.metrics.counter("net.messages").rate_per_second(window_ms)
+    m = execute(fig10_scenario(config, spec["scenario"]), seed=spec.seed)
     return {
-        "msgs_per_sec": rate,
-        "false_positives": len(set(notified)),
-        "groups_created": groups_created,
+        "msgs_per_sec": m["msgs_per_sec"],
+        # Stable FUSE groups must survive churn: any notified group is a
+        # false positive (groups only exist in the churn-fuse variant).
+        "false_positives": m["spurious_groups"],
+        "groups_created": m["groups_created"],
     }
 
 

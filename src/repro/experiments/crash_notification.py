@@ -16,17 +16,24 @@ Engine decomposition: one trial per base seed — each replica runs the
 whole disconnect scenario in its own world, and replicas' notification
 CDFs merge.  ``run(..., seeds=[...])`` (or ``--seeds`` on the CLI) turns
 this figure into an embarrassingly parallel fan-out.
+
+Since the scenario layer landed, this module is a thin wrapper: the
+trial builds the declarative ``paper-fig9`` scenario
+(:func:`repro.scenarios.fig9_scenario` — a group workload plus a
+disconnect wave sharing the ``crash-workload`` RNG stream) and executes
+it.  The scenario reproduces the original hand-written loop's draw
+order and event schedule exactly, so measurements are unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_cdf, format_table
+from repro.scenarios import execute, fig9_scenario
 from repro.sim import CdfSeries
-from repro.world import FuseWorld
 
 EXPERIMENT = "fig9"
 
@@ -82,52 +89,13 @@ class CrashResult:
 
 def _trial(spec: TrialSpec) -> Measurements:
     config: CrashConfig = spec.context
-    world = FuseWorld(n_nodes=config.n_nodes, seed=spec.seed)
-    world.bootstrap()
-    rng = world.sim.rng.stream("crash-workload")
-
-    groups: List[Tuple[str, List[int]]] = []
-    for _ in range(config.n_groups):
-        root, *members = rng.sample(world.node_ids, config.group_size)
-        fid, status, _ = world.create_group_sync(root, members)
-        if status == "ok":
-            groups.append((fid, [root] + members))
-
-    # Let liveness checking settle into steady state.
-    world.run_for_minutes(2.0)
-
-    # Disconnect one "physical machine" worth of virtual nodes.
-    victims = set(rng.sample(world.node_ids, config.n_disconnected))
-    times: Dict[Tuple[str, int], float] = {}
-    t0 = world.now
-    affected = [
-        (fid, members)
-        for fid, members in groups
-        if any(m in victims for m in members)
-    ]
-    for fid, members in affected:
-        for node in members:
-            if node in victims:
-                continue
-            world.fuse(node).observe_notifications(
-                lambda f, reason, fid=fid, node=node: times.setdefault((fid, node), world.now)
-                if f == fid
-                else None
-            )
-    expected = sum(
-        sum(1 for m in members if m not in victims) for _fid, members in affected
-    )
-
-    for victim in victims:
-        world.disconnect(victim)
-    world.run_for_minutes(config.observe_minutes)
-
+    m = execute(fig9_scenario(config), seed=spec.seed)
     return {
-        "groups_created": len(groups),
-        "groups_affected": len(affected),
-        "notifications_expected": expected,
-        "notifications_delivered": len(times),
-        "latency_min": [(when - t0) / 60_000.0 for when in times.values()],
+        "groups_created": m["groups_created"],
+        "groups_affected": m["groups_affected"],
+        "notifications_expected": m["notifications_expected"],
+        "notifications_delivered": m["notifications_delivered"],
+        "latency_min": m["latency_min"],
     }
 
 

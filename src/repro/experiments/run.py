@@ -16,6 +16,10 @@ and ``--json`` / ``--out`` archive machine-readable per-trial results.
 ``--paper-scale`` uses the paper's parameters (400 nodes; 16,000 for the
 §4 simulation) and can take minutes; the default scaled-down configs run
 in seconds each.
+
+For fault timelines beyond the paper's figures — arbitrary churn /
+partition / loss compositions — use the scenario CLI instead:
+``python -m repro.scenarios.run`` (docs/SCENARIOS.md).
 """
 
 from __future__ import annotations

@@ -7,7 +7,7 @@ repair timeout and 2 minute root repair timeout (§7.4).
 
 The ablation switches at the bottom correspond to the design choices the
 paper argues for; flipping them reproduces the alternatives it rejects
-(see DESIGN.md §5 and benchmarks/bench_ablation_*.py).
+(paper §5/§5.1; exercised by benchmarks/bench_ablation_*.py).
 """
 
 from __future__ import annotations
@@ -52,7 +52,7 @@ class FuseConfig:
     notification_size_bytes: int = 128
 
     # ------------------------------------------------------------------
-    # Ablation switches (paper design choices; see DESIGN.md §5)
+    # Ablation switches (the paper's §5 design choices)
     # ------------------------------------------------------------------
     repair_enabled: bool = True
     """Paper choice: attempt repair on delegate/path failures instead of

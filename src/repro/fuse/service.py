@@ -769,7 +769,7 @@ class FuseService:
     # ------------------------------------------------------------------
     def _send_control(self, dst_id: NodeId, dst_name: str, msg: Message, on_fail=None) -> None:
         """Root<->member control traffic: direct (paper default) or routed
-        through the overlay (ablation, DESIGN.md §5)."""
+        through the overlay (paper §5 ablation; see FuseConfig.direct_root_member)."""
         if dst_id == self.host.node_id:
             self.sim.schedule_soon(lambda: self.host.deliver(self._stamp_self(msg)))
             return

@@ -4,6 +4,10 @@ Protocol layers (overlay, FUSE, applications) define message classes by
 subclassing :class:`Message`.  Dispatch at the receiving host is by class
 name, so subclasses should have unique, descriptive names — they double
 as the wire "type" field and as the label in traces and message counters.
+
+Paper cross-reference: §6.2 — everything FUSE and the overlay exchange
+rides the messaging layer modeled here; ``size_bytes`` feeds the
+message-cost accounting of Fig 10 and §7.5.
 """
 
 from __future__ import annotations

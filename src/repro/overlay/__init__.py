@@ -15,7 +15,7 @@ rings at multiple levels (base-8 numeric prefixes), an R-table plus leaf
 set per node, hop-by-hop name routing with upcalls, both-sides ping
 monitoring with piggyback payloads, join/leave, and failure repair.
 
-Simulation substitution (documented in DESIGN.md): ring pointer *contents*
+Simulation substitution (documented in docs/ARCHITECTURE.md): ring pointer *contents*
 are derived from a shared membership registry rather than discovered by
 SkipNet's full decentralized search protocol; the join/leave/repair
 *message traffic* is still exchanged and counted, and all routing, pings,

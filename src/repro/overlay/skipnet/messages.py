@@ -1,4 +1,9 @@
-"""Overlay wire messages."""
+"""Overlay wire messages.
+
+Paper cross-reference: §6.1/§6.3 — join/route/ping traffic of the
+SkipNet overlay FUSE delegates its liveness checking to; ping payloads
+carry the piggybacked FUSE group hashes of §6.3.
+"""
 
 from __future__ import annotations
 

@@ -9,7 +9,7 @@ between :class:`repro.overlay.skipnet.node.OverlayNode` instances; the
 coordinator performs no message delivery and is consulted only on
 membership change (join, leave, detected death).
 
-This is the simulation substitution documented in DESIGN.md: pointer
+This is the simulation substitution documented in docs/ARCHITECTURE.md: pointer
 *placement* is oracle-computed, pointer *liveness* is protocol-measured.
 """
 

@@ -1,0 +1,53 @@
+"""Declarative scenario engine: composable fault timelines for FUSE.
+
+The paper's central claim (abstract, §3.5) is notification delivery
+under *arbitrary* failure patterns; this package is the layer that makes
+new failure patterns a declaration instead of a new experiment module.
+A :class:`Scenario` composes **phases** (warmup / steady-state /
+measurement windows) with **event tracks** (churn schedules, partition
+and intransitive fault timelines, link-loss ramps, group and SV-tree
+workloads — :mod:`repro.scenarios.tracks`), runs through the shared
+trial engine (:mod:`repro.scenarios.runner`), and can be written in
+Python or loaded from TOML/JSON (:mod:`repro.scenarios.spec`).
+
+Entry points:
+
+* ``python -m repro.scenarios.run <name|spec.toml>`` — the CLI;
+* :func:`execute` — one scenario, one seed, one measurements dict;
+* :func:`run_scenario` — seed replicas through the engine (``jobs`` /
+  ``seeds`` exactly as in :mod:`repro.experiments.run`);
+* :data:`BUILTIN` — the named catalogue (:mod:`repro.scenarios.builtin`).
+
+Full DSL reference: ``docs/SCENARIOS.md``.
+"""
+
+from repro.scenarios.builtin import BUILTIN, catalogue, fig9_scenario, fig10_scenario
+from repro.scenarios.runner import ScenarioResult, run_scenario, sweep_for
+from repro.scenarios.spec import SpecError, load, scenario_from_dict
+from repro.scenarios.timeline import (
+    MINUTE_MS,
+    Phase,
+    Scenario,
+    ScenarioContext,
+    Track,
+    execute,
+)
+
+__all__ = [
+    "BUILTIN",
+    "MINUTE_MS",
+    "Phase",
+    "Scenario",
+    "ScenarioContext",
+    "ScenarioResult",
+    "SpecError",
+    "Track",
+    "catalogue",
+    "execute",
+    "fig10_scenario",
+    "fig9_scenario",
+    "load",
+    "run_scenario",
+    "scenario_from_dict",
+    "sweep_for",
+]

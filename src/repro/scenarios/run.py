@@ -1,0 +1,152 @@
+"""Command-line scenario runner.
+
+Run any built-in scenario by name, or any TOML/JSON spec file::
+
+    python -m repro.scenarios.run --list
+    python -m repro.scenarios.run steady
+    python -m repro.scenarios.run partition-heal --quick --jobs 2
+    python -m repro.scenarios.run paper-fig9 --seeds 4,5,6 --jobs 4 --json
+    python -m repro.scenarios.run examples/scenario_creeping_loss.toml --out out.json
+
+Scenarios execute through the shared trial engine
+(:mod:`repro.scenarios.runner` -> :mod:`repro.engine`): ``--seeds``
+replicates the scenario over base seeds, ``--jobs`` fans replicas across
+processes with seed-for-seed-identical aggregate metrics, and
+``--json``/``--out`` archive per-trial measurements.  The full DSL
+reference lives in ``docs/SCENARIOS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from repro.scenarios.builtin import BUILTIN, catalogue
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import SpecError, load
+from repro.scenarios.timeline import Scenario
+
+
+def _parse_seeds(text: Optional[str]) -> Optional[List[int]]:
+    if not text:
+        return None
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"--seeds expects comma-separated integers: {exc}")
+
+
+def _resolve(target: str, quick: bool) -> Scenario:
+    factory = BUILTIN.get(target)
+    if factory is not None:
+        return factory(quick)
+    path = pathlib.Path(target)
+    if path.suffix in (".toml", ".json"):
+        if not path.exists():
+            raise SystemExit(f"spec file not found: {path}")
+        try:
+            return load(path)
+        except SpecError as exc:
+            raise SystemExit(f"bad scenario spec {path}: {exc}")
+    raise SystemExit(
+        f"unknown scenario {target!r} — run with --list, or pass a "
+        ".toml/.json spec file"
+    )
+
+
+def _list_text() -> str:
+    rows = catalogue()
+    width = max(len(name) for name, _desc in rows)
+    lines = [f"{len(rows)} built-in scenarios:", ""]
+    for name, desc in rows:
+        lines.append(f"  {name:<{width}}  {desc}")
+    lines.append("")
+    lines.append("Any .toml/.json spec file is also accepted (docs/SCENARIOS.md).")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios.run",
+        description="Run a named or spec-file scenario through the trial engine.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        help="built-in scenario name (see --list) or a .toml/.json spec file",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list built-in scenarios and exit"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized variant of a built-in scenario (ignored for spec files)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for seed replicas (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--seeds",
+        metavar="S1,S2,...",
+        help="comma-separated base seeds replacing the scenario default",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable per-trial results instead of the table",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="also write the output to PATH"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(_list_text())
+        return 0
+    if not args.scenario:
+        parser.error("pass a scenario name or spec file (or --list)")
+
+    scenario = _resolve(args.scenario, args.quick)
+    started = time.time()
+    result = run_scenario(
+        scenario, jobs=max(1, args.jobs), seeds=_parse_seeds(args.seeds)
+    )
+    elapsed = time.time() - started
+
+    if args.json:
+        payload = result.result_set.to_json_dict()
+        payload["scenario"] = scenario.name
+        payload["n_nodes"] = scenario.n_nodes
+        payload["phases"] = [
+            {"name": p.name, "minutes": p.minutes, "measure": p.measure}
+            for p in scenario.phases
+        ]
+        payload["wall_seconds"] = round(elapsed, 3)
+        payload["jobs"] = max(1, args.jobs)
+        rendered = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    else:
+        rendered = result.format_table() + (
+            f"\n[{scenario.name}: {elapsed:.1f}s wall clock, jobs={args.jobs}, "
+            f"{len(result.result_set)} trials]"
+        )
+
+    if args.out:
+        out = pathlib.Path(args.out)
+        if out.parent != pathlib.Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered + "\n")
+    print(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

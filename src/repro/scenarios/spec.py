@@ -1,0 +1,155 @@
+"""Load scenarios from declarative TOML or JSON spec files.
+
+A spec is the on-disk form of a :class:`~repro.scenarios.timeline.Scenario`
+— a new fault timeline becomes a config file instead of a new experiment
+module.  The schema (full reference in ``docs/SCENARIOS.md``)::
+
+    [scenario]
+    name = "my-partition"
+    n_nodes = 40
+    seed = 13
+    description = "optional free text"
+
+    [[phase]]
+    name = "warmup"
+    minutes = 2.0
+
+    [[phase]]
+    name = "partition"
+    minutes = 6.0
+    measure = true
+
+    [[track]]
+    kind = "groups"            # see TRACK_KINDS for the vocabulary
+    n_groups = 10
+    group_size = 4
+
+    [[track]]
+    kind = "partition"
+    phase = "partition"
+    fractions = [0.6, 0.4]
+    heal_after_minutes = 3.0
+
+The same structure as JSON (``{"scenario": {...}, "phase": [...],
+"track": [...]}``) loads identically.  Every track field maps 1:1 onto
+the dataclass fields in :mod:`repro.scenarios.tracks`; unknown kinds and
+unknown fields are hard errors so specs fail loudly, not silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Dict, Mapping, Type, Union
+
+from repro.scenarios.timeline import Phase, Scenario, Track
+from repro.scenarios.tracks import (
+    CrashRecoverWave,
+    DisconnectWave,
+    GroupWorkload,
+    IntransitivePairs,
+    LinkLossRamp,
+    Partition,
+    PoissonChurn,
+    RollingDisconnect,
+    SvtreeTraffic,
+)
+
+#: spec ``kind`` -> track dataclass
+TRACK_KINDS: Dict[str, Type[Track]] = {
+    "groups": GroupWorkload,
+    "svtree": SvtreeTraffic,
+    "poisson-churn": PoissonChurn,
+    "crash-recover-wave": CrashRecoverWave,
+    "disconnect-wave": DisconnectWave,
+    "rolling-disconnect": RollingDisconnect,
+    "partition": Partition,
+    "intransitive-pairs": IntransitivePairs,
+    "link-loss": LinkLossRamp,
+}
+
+
+class SpecError(ValueError):
+    """A scenario spec failed validation."""
+
+
+def _build_track(entry: Mapping[str, Any]) -> Track:
+    data = dict(entry)
+    kind = data.pop("kind", None)
+    if not kind:
+        raise SpecError(f"track entry missing 'kind': {entry!r}")
+    cls = TRACK_KINDS.get(kind)
+    if cls is None:
+        raise SpecError(
+            f"unknown track kind {kind!r} (known: {', '.join(sorted(TRACK_KINDS))})"
+        )
+    fields = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - fields
+    if unknown:
+        raise SpecError(
+            f"track kind {kind!r} has no field(s) {sorted(unknown)} "
+            f"(known: {sorted(fields)})"
+        )
+    # TOML has no null; lists arrive as lists (fractions, explicit node
+    # ids) and are coerced to the tuple/list shapes the dataclasses use.
+    if "fractions" in data:
+        data["fractions"] = tuple(data["fractions"])
+    try:
+        return cls(**data)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"bad {kind!r} track: {exc}") from exc
+
+
+def scenario_from_dict(spec: Mapping[str, Any]) -> Scenario:
+    """Build a :class:`Scenario` from parsed spec data."""
+    header = spec.get("scenario")
+    if not isinstance(header, Mapping):
+        raise SpecError("spec needs a [scenario] table with name and n_nodes")
+    for key in ("name", "n_nodes"):
+        if key not in header:
+            raise SpecError(f"[scenario] is missing {key!r}")
+    unknown = set(header) - {"name", "n_nodes", "seed", "description"}
+    if unknown:
+        raise SpecError(f"[scenario] has unknown key(s) {sorted(unknown)}")
+    phases = spec.get("phase") or ()
+    if not phases:
+        raise SpecError("spec needs at least one [[phase]]")
+    try:
+        phase_objs = tuple(Phase(**dict(p)) for p in phases)
+    except TypeError as exc:
+        raise SpecError(f"bad phase entry: {exc}") from exc
+    tracks = tuple(_build_track(t) for t in spec.get("track") or ())
+    unknown_top = set(spec) - {"scenario", "phase", "track"}
+    if unknown_top:
+        raise SpecError(f"spec has unknown top-level table(s) {sorted(unknown_top)}")
+    try:
+        return Scenario(
+            name=str(header["name"]),
+            n_nodes=int(header["n_nodes"]),
+            seed=int(header.get("seed", 0)),
+            description=str(header.get("description", "")),
+            phases=phase_objs,
+            tracks=tracks,
+        )
+    except ValueError as exc:
+        raise SpecError(str(exc)) from exc
+
+
+def load(path: Union[str, pathlib.Path]) -> Scenario:
+    """Load a scenario from a ``.toml`` or ``.json`` spec file."""
+    path = pathlib.Path(path)
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # Python 3.10: stdlib tomllib is 3.11+
+            raise SpecError(
+                "TOML specs need Python >= 3.11 (stdlib tomllib); "
+                "use the equivalent .json form on older interpreters"
+            ) from exc
+        data = tomllib.loads(path.read_text())
+    elif path.suffix == ".json":
+        data = json.loads(path.read_text())
+    else:
+        raise SpecError(f"spec files must be .toml or .json, got {path.name!r}")
+    return scenario_from_dict(data)

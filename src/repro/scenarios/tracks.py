@@ -1,0 +1,566 @@
+"""Built-in scenario event tracks: churn, faults, and workloads.
+
+Each track is a declarative dataclass composing onto one existing
+primitive:
+
+* **churn** — :class:`PoissonChurn` (exponential dwell kill/restart, the
+  Fig 10 model), :class:`CrashRecoverWave` (flash crowds and mass
+  crash-recover waves);
+* **faults** (§3.5's "arbitrary network failures") —
+  :class:`DisconnectWave` (Fig 9's disconnected machine, optionally a
+  contiguous "rack"), :class:`RollingDisconnect`, :class:`Partition`
+  (partition-and-heal via :meth:`FaultInjector.partition`),
+  :class:`IntransitivePairs` (§2/§3.4 pairwise failures with fail-on-send
+  signalling), :class:`LinkLossRamp` (time-varying per-link loss, the
+  Fig 11/12 knob);
+* **workloads** — :class:`GroupWorkload` (FUSE group creation, either
+  up-front or at a rate), :class:`SvtreeTraffic` (§4 SV-tree
+  subscribe/publish application load).
+
+Tracks hold **no per-run mutable state**: anything a run accumulates
+lives on the :class:`~repro.scenarios.timeline.ScenarioContext` (in
+``ctx.scratch``/``ctx.extra`` or closures), because the same track
+instances are reused across serial seed replicas.
+
+Node subsets are expressed as *selectors* so they survive TOML specs:
+``"all"``, ``"first:N"``, ``"last:N"``, ``"slice:A:B"`` (half-open index
+range into the world's node list), or an explicit id list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.net.address import NodeId
+from repro.scenarios.timeline import MINUTE_MS, Phase, ScenarioContext, Track
+
+NodeSelector = Union[str, Sequence[int]]
+
+
+def resolve_nodes(selector: NodeSelector, node_ids: Sequence[NodeId]) -> List[NodeId]:
+    """Resolve a node selector against the world's ordered node list."""
+    if isinstance(selector, str):
+        if selector == "all":
+            return list(node_ids)
+        kind, _, arg = selector.partition(":")
+        try:
+            if kind == "first":
+                return list(node_ids[: int(arg)])
+            if kind == "last":
+                return list(node_ids[-int(arg) :]) if int(arg) > 0 else []
+            if kind == "slice":
+                a, _, b = arg.partition(":")
+                return list(node_ids[int(a) : int(b)])
+        except ValueError:
+            pass
+        raise ValueError(
+            f"bad node selector {selector!r} "
+            "(want 'all', 'first:N', 'last:N', 'slice:A:B', or an id list)"
+        )
+    return [NodeId(n) for n in selector]
+
+
+# ----------------------------------------------------------------------
+# Workload tracks
+# ----------------------------------------------------------------------
+@dataclass
+class GroupWorkload(Track):
+    """Create FUSE groups and observe their failure notifications.
+
+    With ``rate_per_minute`` unset, all groups are created synchronously
+    during setup (the shape of every §7 experiment).  With a rate, group
+    creation is spread across ``phase`` at fixed spacing, asynchronously
+    — an open-loop creation workload.
+
+    ``observe`` controls notification recording: ``"members"`` attaches
+    an observer per (group, member) including the root (Fig 9 style),
+    ``"root"`` only at the group's root (Fig 10's false-positive probe),
+    ``"none"`` skips observation.
+    """
+
+    n_groups: int
+    group_size: int
+    members: NodeSelector = "all"
+    observe: str = "members"
+    stream: str = "scenario-groups"
+    rate_per_minute: Optional[float] = None
+    phase: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.group_size < 2:
+            raise ValueError("FUSE groups need at least a root and one member")
+        if self.observe not in ("members", "root", "none"):
+            raise ValueError(f"bad observe mode {self.observe!r}")
+        if self.rate_per_minute is not None:
+            if self.phase is None:
+                raise ValueError("rate-based group creation needs a phase")
+            if self.rate_per_minute <= 0:
+                raise ValueError(f"rate_per_minute must be positive: {self.rate_per_minute}")
+
+    def _register(self, ctx: ScenarioContext, fuse_id, root, members) -> None:
+        ctx.register_group(fuse_id, root, [root] + list(members))
+        if self.observe == "root":
+            ctx.world.fuse(root).observe_notifications(
+                lambda f, reason, fid=fuse_id, n=root: ctx.record_notification(fid, n)
+                if f == fid
+                else None
+            )
+        elif self.observe == "members":
+            for node in [root] + list(members):
+                ctx.world.fuse(node).observe_notifications(
+                    lambda f, reason, fid=fuse_id, n=node: ctx.record_notification(fid, n)
+                    if f == fid
+                    else None
+                )
+
+    def setup(self, ctx: ScenarioContext) -> None:
+        if self.rate_per_minute is not None:
+            return
+        pool = resolve_nodes(self.members, ctx.world.node_ids)
+        rng = ctx.stream(self.stream)
+        for _ in range(self.n_groups):
+            root, *members = rng.sample(pool, self.group_size)
+            fuse_id, status, _latency = ctx.world.create_group_sync(root, members)
+            if status == "ok":
+                self._register(ctx, fuse_id, root, members)
+            else:
+                ctx.groups_failed += 1
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if self.rate_per_minute is None or phase.name != self.phase:
+            return
+        world = ctx.world
+        pool = resolve_nodes(self.members, world.node_ids)
+        rng = ctx.stream(self.stream)
+        spacing_ms = MINUTE_MS / self.rate_per_minute
+        end = ctx.phase_end_ms[phase.name]
+
+        def create_one() -> None:
+            root, *members = rng.sample(pool, self.group_size)
+
+            def done(fuse_id, status, root=root, members=members) -> None:
+                if status == "ok":
+                    self._register(ctx, fuse_id, root, members)
+                else:
+                    ctx.groups_failed += 1
+
+            world.fuse(root).create_group(members, done)
+
+        for k in range(self.n_groups):
+            when = ctx.phase_start_ms[phase.name] + k * spacing_ms
+            if when >= end:
+                break
+            world.sim.call_at(when, create_one)
+
+
+@dataclass
+class SvtreeTraffic(Track):
+    """§4 application load: SV-tree subscriptions plus periodic publishes.
+
+    Subscribers join their topics during setup (the joins — and the FUSE
+    groups guarding each tree link — settle over the warmup phase);
+    publishing runs at a fixed rate per topic across ``phase``.  Reports
+    ``svtree_published`` / ``svtree_delivered`` event counts.
+    """
+
+    n_topics: int
+    subscribers_per_topic: int
+    phase: str
+    publish_per_minute: float = 2.0
+    nodes: NodeSelector = "all"
+    stream: str = "scenario-svtree"
+
+    def __post_init__(self) -> None:
+        if self.publish_per_minute <= 0:
+            raise ValueError(f"publish_per_minute must be positive: {self.publish_per_minute}")
+
+    def setup(self, ctx: ScenarioContext) -> None:
+        from repro.apps.svtree import SVTreeService
+
+        world = ctx.world
+        rng = ctx.stream(self.stream)
+        pool = resolve_nodes(self.nodes, world.node_ids)
+        # Every node needs a service: interior nodes of a tree (the RPF
+        # path between a subscriber and its attach point) adopt and
+        # forward content even when they never subscribed themselves.
+        services = {node: SVTreeService(world.fuse(node)) for node in world.node_ids}
+        ctx.extra.setdefault("svtree_published", 0)
+        ctx.extra.setdefault("svtree_delivered", 0)
+
+        def on_event(topic, payload) -> None:
+            ctx.extra["svtree_delivered"] += 1
+
+        topics = []
+        for t in range(self.n_topics):
+            topic = f"scenario-topic-{t}"
+            subscribers = rng.sample(pool, self.subscribers_per_topic)
+            for node in subscribers:
+                services[node].subscribe(topic, on_event)
+            publisher = rng.choice(pool)
+            topics.append((topic, publisher))
+        ctx.scratch[id(self)] = (topics, services)
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        world = ctx.world
+        topics, services = ctx.scratch[id(self)]
+        spacing_ms = MINUTE_MS / self.publish_per_minute
+        end = ctx.phase_end_ms[phase.name]
+
+        def publish(topic: str, publisher) -> None:
+            ctx.extra["svtree_published"] += 1
+            services[publisher].publish(topic, f"event@{world.sim.now:.0f}")
+            when = world.sim.now + spacing_ms
+            if when < end:
+                world.sim.call_at(when, lambda: publish(topic, publisher))
+
+        for index, (topic, publisher) in enumerate(topics):
+            # Stagger topics so publishes do not all land on one tick.
+            first = ctx.phase_start_ms[phase.name] + index * spacing_ms / max(1, len(topics))
+            world.sim.call_at(first, lambda t=topic, p=publisher: publish(t, p))
+
+
+# ----------------------------------------------------------------------
+# Churn tracks
+# ----------------------------------------------------------------------
+@dataclass
+class PoissonChurn(Track):
+    """Kill/restart nodes with exponential dwell times (the Fig 10 model).
+
+    Each churner alternates alive/dead with exponentially distributed
+    dwell times whose mean is ``half_life_minutes / 2``, so roughly half
+    the churners are alive at any instant.  ``pre_kill_alternate`` kills
+    every other churner during setup so the population starts at its
+    steady-state mean instead of decaying toward it.
+
+    Active from the start of ``phase`` to the end of ``end_phase``
+    (default: ``phase`` itself).
+    """
+
+    nodes: NodeSelector
+    half_life_minutes: float
+    phase: str
+    end_phase: Optional[str] = None
+    pre_kill_alternate: bool = False
+    stream: str = "churn-schedule"
+
+    def setup(self, ctx: ScenarioContext) -> None:
+        if not self.pre_kill_alternate:
+            return
+        for node in resolve_nodes(self.nodes, ctx.world.node_ids)[::2]:
+            ctx.world.crash(node)
+            ctx.note_fault(node, observable=False)
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        world = ctx.world
+        rng = ctx.stream(self.stream)
+        mean_dwell = self.half_life_minutes * MINUTE_MS / 2.0
+        stop_at = ctx.phase_end_ms[self.end_phase or self.phase] + 1.0
+
+        def schedule_flip(node) -> None:
+            delay = rng.expovariate(1.0 / mean_dwell)
+            when = world.sim.now + delay
+            if when >= stop_at:
+                return
+            world.sim.call_at(when, lambda: flip(node))
+
+        def flip(node) -> None:
+            host = world.host(node)
+            if host.alive:
+                world.crash(node)
+                ctx.note_fault(node, observable=False)
+            else:
+                world.restart(node)
+            schedule_flip(node)
+
+        for node in resolve_nodes(self.nodes, world.node_ids):
+            schedule_flip(node)
+
+
+@dataclass
+class CrashRecoverWave(Track):
+    """A correlated wave: ``count`` nodes crash together, then all restart.
+
+    With ``crash_phase=None`` the wave crashes during setup — the nodes
+    sit out the early phases and their simultaneous restart at
+    ``recover_phase`` models a *flash crowd* of joins.  With a crash
+    phase, it models a mass crash-recover event (a power cycle).
+    ``spacing_ms`` staggers the restarts.
+    """
+
+    count: int
+    recover_phase: str
+    crash_phase: Optional[str] = None
+    spacing_ms: float = 0.0
+    nodes: NodeSelector = "all"
+    stream: str = "scenario-churn"
+
+    def _victims(self, ctx: ScenarioContext) -> List[NodeId]:
+        victims = ctx.scratch.get(id(self))
+        if victims is None:
+            pool = resolve_nodes(self.nodes, ctx.world.node_ids)
+            victims = ctx.stream(self.stream).sample(pool, self.count)
+            ctx.scratch[id(self)] = victims
+        return victims
+
+    def _crash_all(self, ctx: ScenarioContext) -> None:
+        for node in self._victims(ctx):
+            ctx.note_fault(node, observable=False)
+            ctx.world.crash(node)
+
+    def setup(self, ctx: ScenarioContext) -> None:
+        if self.crash_phase is None:
+            self._crash_all(ctx)
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name == self.crash_phase:
+            self._crash_all(ctx)
+        if phase.name == self.recover_phase:
+            world = ctx.world
+            for index, node in enumerate(self._victims(ctx)):
+                world.sim.call_after(
+                    index * self.spacing_ms, lambda n=node: world.restart(n)
+                )
+            ctx.extra["wave_size"] = self.count
+
+
+# ----------------------------------------------------------------------
+# Fault tracks
+# ----------------------------------------------------------------------
+def _reconnect_and_rejoin(world, node_id) -> None:
+    """Heal a disconnected host: plug the network back in and rejoin the
+    overlay if the outage got the node evicted (peers time it out and
+    drop it from their rings; without a rejoin it would stay a zombie —
+    reachable but overlay-invisible — for the rest of the run)."""
+    world.net.reconnect_host(node_id)
+    node = world.overlay_node(node_id)
+    if not node.joined:
+        node.join()
+
+
+@dataclass
+class DisconnectWave(Track):
+    """Disconnect ``count`` hosts at a phase boundary (Fig 9's failure).
+
+    ``contiguous=True`` picks one contiguous block of the node list —
+    virtual nodes sharing a physical machine or rack, the correlated
+    variant — instead of an independent random sample.  Optionally
+    reconnects everyone after ``reconnect_after_minutes``.
+    """
+
+    count: int
+    phase: str
+    nodes: NodeSelector = "all"
+    contiguous: bool = False
+    reconnect_after_minutes: Optional[float] = None
+    stream: str = "scenario-faults"
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        world = ctx.world
+        pool = resolve_nodes(self.nodes, world.node_ids)
+        rng = ctx.stream(self.stream)
+        if self.contiguous:
+            start = rng.randrange(max(1, len(pool) - self.count + 1))
+            victims = set(pool[start : start + self.count])
+        else:
+            victims = set(rng.sample(pool, self.count))
+        for victim in victims:
+            ctx.note_fault(victim, observable=False)
+        for victim in victims:
+            world.disconnect(victim)
+        if self.reconnect_after_minutes is not None:
+            def heal() -> None:
+                for victim in victims:
+                    _reconnect_and_rejoin(world, victim)
+
+            world.sim.call_after(self.reconnect_after_minutes * MINUTE_MS, heal)
+
+
+@dataclass
+class RollingDisconnect(Track):
+    """Disconnect one node every ``interval_minutes``, healing each after
+    ``down_minutes`` — a rolling maintenance/outage pattern."""
+
+    count: int
+    phase: str
+    interval_minutes: float = 1.0
+    down_minutes: float = 2.0
+    nodes: NodeSelector = "all"
+    stream: str = "scenario-faults"
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        world = ctx.world
+        pool = resolve_nodes(self.nodes, world.node_ids)
+        victims = ctx.stream(self.stream).sample(pool, self.count)
+
+        def hit(node) -> None:
+            ctx.note_fault(node, observable=False)
+            world.disconnect(node)
+            world.sim.call_after(
+                self.down_minutes * MINUTE_MS,
+                lambda: _reconnect_and_rejoin(world, node),
+            )
+
+        for index, node in enumerate(victims):
+            world.sim.call_after(index * self.interval_minutes * MINUTE_MS, lambda n=node: hit(n))
+
+
+@dataclass
+class Partition(Track):
+    """Split the host set into isolated groups, then heal (§3.5).
+
+    The node list is cut contiguously by ``fractions`` at the start of
+    ``phase``; groups whose members straddle a cut are declared doomed
+    (their notification latency is measured from partition onset).
+    Healing happens ``heal_after_minutes`` into the phase, or at phase
+    end when unset.  Reports ``partition_spanning_groups``.
+    """
+
+    phase: str
+    fractions: Tuple[float, ...] = (0.5, 0.5)
+    heal_after_minutes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if len(self.fractions) < 2:
+            raise ValueError("a partition needs at least two groups")
+        if abs(sum(self.fractions) - 1.0) > 1e-9:
+            raise ValueError(f"partition fractions must sum to 1: {self.fractions}")
+
+    def _sides(self, node_ids: Sequence[NodeId]) -> List[List[NodeId]]:
+        sides: List[List[NodeId]] = []
+        start = 0
+        for index, fraction in enumerate(self.fractions):
+            if index == len(self.fractions) - 1:
+                end = len(node_ids)
+            else:
+                end = start + int(round(fraction * len(node_ids)))
+            sides.append(list(node_ids[start:end]))
+            start = end
+        return sides
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        world = ctx.world
+        sides = self._sides(world.node_ids)
+        side_of = {node: index for index, side in enumerate(sides) for node in side}
+        world.net.faults.partition(sides)
+        spanning = 0
+        for fuse_id, (_root, members) in ctx.groups.items():
+            if len({side_of[m] for m in members if m in side_of}) > 1:
+                ctx.expect_group_failure(fuse_id)
+                spanning += 1
+        ctx.extra["partition_spanning_groups"] = spanning
+        if self.heal_after_minutes is not None:
+            world.sim.call_after(
+                self.heal_after_minutes * MINUTE_MS, world.net.faults.heal_partition
+            )
+
+    def on_phase_end(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name == self.phase and self.heal_after_minutes is None:
+            ctx.world.net.faults.heal_partition()
+
+
+@dataclass
+class IntransitivePairs(Track):
+    """Block random host pairs — §2/§3.4's intransitive failures.
+
+    Both endpoints stay reachable from everyone else; only the pair is
+    cut.  FUSE's delegate tree need not traverse the broken pair, so —
+    exactly as §3.4 prescribes — the *application* detects the break on
+    send and calls SignalFailure: for every group containing both
+    endpoints, one endpoint signals after ``detect_minutes``.  Reports
+    ``blocked_pairs``.
+
+    ``within_groups=True`` draws each pair as (root, member) of a
+    registered group, guaranteeing the break cuts through a live group;
+    otherwise pairs are sampled from ``nodes`` at large — which almost
+    never intersects a group, demonstrating that intransitive failures
+    do *not* take down healthy groups.
+    """
+
+    n_pairs: int
+    phase: str
+    detect_minutes: float = 1.0
+    signal: bool = True
+    within_groups: bool = False
+    nodes: NodeSelector = "all"
+    stream: str = "scenario-faults"
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        world = ctx.world
+        rng = ctx.stream(self.stream)
+        if self.within_groups:
+            fids = rng.sample(sorted(ctx.groups), min(self.n_pairs, len(ctx.groups)))
+            pairs = []
+            for fid in fids:
+                root, members = ctx.groups[fid]
+                pairs.append((root, rng.choice([m for m in members if m != root])))
+        else:
+            pool = resolve_nodes(self.nodes, world.node_ids)
+            chosen = rng.sample(pool, 2 * self.n_pairs)
+            pairs = [(chosen[2 * i], chosen[2 * i + 1]) for i in range(self.n_pairs)]
+        for a, b in pairs:
+            world.net.faults.block_pair(a, b)
+        ctx.extra["blocked_pairs"] = len(pairs)
+        if not self.signal:
+            return
+        for a, b in pairs:
+            for fuse_id, (_root, members) in ctx.groups.items():
+                if a in members and b in members:
+                    ctx.expect_group_failure(fuse_id)
+                    world.sim.call_after(
+                        self.detect_minutes * MINUTE_MS,
+                        lambda fid=fuse_id, node=a: world.fuse(node).signal_failure(fid)
+                        if fid in world.fuse(node).groups
+                        else None,
+                    )
+
+
+@dataclass
+class LinkLossRamp(Track):
+    """Time-varying uniform per-link loss (the Fig 11/12 knob, animated).
+
+    Loss steps linearly from ``start_loss`` toward ``end_loss`` across
+    ``phase`` in ``steps`` increments, the first applied at phase start
+    and the last reaching ``end_loss``.  ``restore_loss`` (if set) is
+    applied at phase end.  Reports ``final_link_loss``.
+    """
+
+    phase: str
+    start_loss: float = 0.0
+    end_loss: float = 0.016
+    steps: int = 4
+    restore_loss: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("loss ramp needs at least one step")
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        world = ctx.world
+        phase_ms = ctx.phase_end_ms[phase.name] - ctx.phase_start_ms[phase.name]
+        span = self.end_loss - self.start_loss
+        for i in range(self.steps):
+            level = self.start_loss + span * (i + 1) / self.steps
+            when = ctx.phase_start_ms[phase.name] + i * phase_ms / self.steps
+            world.sim.call_at(
+                when, lambda lv=level: world.topology.set_uniform_loss(lv)
+            )
+        ctx.extra["final_link_loss"] = self.end_loss
+
+    def on_phase_end(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name == self.phase and self.restore_loss is not None:
+            ctx.world.topology.set_uniform_loss(self.restore_loss)

@@ -4,6 +4,10 @@ The clock only moves forward, and only when the kernel dispatches events.
 Keeping it as its own small object (rather than a bare float on the
 simulator) lets components hold a reference to the clock without holding a
 reference to the whole kernel.
+
+Paper cross-reference: §7.1 — part of the simulator half of the paper's
+dual ModelNet/simulator testbed; all protocol timeouts (§6.3-§6.5) are
+measured against this virtual clock.
 """
 
 

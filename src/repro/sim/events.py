@@ -10,6 +10,10 @@ cancellation is one set removal and the stale heap entry is shed lazily
 at pop/peek time (the standard approach for heap-backed schedulers; see
 the CPython ``sched``/``asyncio`` implementations).
 
+Paper cross-reference: §7.1 — the scheduling core of the simulator half
+of the paper's testbed; the timers scheduled here implement the §6.3-§6.5
+ping/repair timeout machinery.
+
 Scheduling therefore allocates nothing beyond the heap tuple itself.  A
 :class:`TimerHandle` — the cancellable/reschedulable wrapper components
 hold on to — is only materialized by the kernel's ``call_*`` API for

@@ -4,6 +4,9 @@ Tracing is off by default (it costs memory proportional to event count) and
 is switched on per-simulation via ``Simulator(trace=True)`` or by attaching
 a :class:`TraceLog` to a component directly.  Tests use traces to assert on
 message orderings without reaching into protocol internals.
+
+Paper cross-reference: infrastructure for validating the §3/§6 protocol
+invariants (notification ordering, exactly-once delivery) in tests.
 """
 
 from __future__ import annotations

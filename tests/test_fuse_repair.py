@@ -104,7 +104,7 @@ class TestRepair:
 
 class TestRepairDisabledAblation:
     def test_without_repair_delegate_failure_kills_group(self):
-        """DESIGN.md §5 ablation: with repair disabled, any tree break is
+        """Paper §5 ablation: with repair disabled, any tree break is
         a group failure (the 'simplicity' option the paper rejected as a
         false-positive source)."""
         world = build_world(fuse_config=FuseConfig(repair_enabled=False))
