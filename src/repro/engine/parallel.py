@@ -21,9 +21,13 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.engine.trial import TrialFn, TrialResult, TrialSpec, run_trial
+
+#: Streaming hook: receives each completed :class:`TrialResult` in spec
+#: order, as soon as it is available.
+ResultSink = Callable[[TrialResult], None]
 
 
 def _pick_start_method(preferred: Optional[str]) -> str:
@@ -42,6 +46,8 @@ def run_trials(
     specs: Iterable[TrialSpec],
     jobs: int = 1,
     start_method: Optional[str] = None,
+    on_result: Optional[ResultSink] = None,
+    keep_results: bool = True,
 ) -> List[TrialResult]:
     """Run every trial and return results in spec order.
 
@@ -51,15 +57,35 @@ def run_trials(
         jobs: worker process count; ``<= 1`` means a serial in-process
             loop (the deterministic fallback — no multiprocessing at all).
         start_method: override the multiprocessing start method.
+        on_result: streaming sink invoked with each completed trial *in
+            spec order* as soon as it is available (``imap`` under the
+            hood, so a parallel run streams exactly the sequence a serial
+            run would).  Large sharded sweeps archive incrementally here.
+        keep_results: set False to drop results after the sink has seen
+            them — the memory-lean mode for sweeps whose only consumer is
+            ``on_result``; the return value is then an empty list.
     """
     spec_list: Sequence[TrialSpec] = list(specs)
     jobs = min(max(1, int(jobs)), len(spec_list)) if spec_list else 1
+    results: List[TrialResult] = []
     if jobs <= 1:
-        return [run_trial(fn, spec) for spec in spec_list]
+        for spec in spec_list:
+            result = run_trial(fn, spec)
+            if on_result is not None:
+                on_result(result)
+            if keep_results:
+                results.append(result)
+        return results
 
     ctx = multiprocessing.get_context(_pick_start_method(start_method))
     worker = functools.partial(run_trial, fn)
     with ctx.Pool(processes=jobs) as pool:
         # chunksize=1: trials are coarse-grained; balance beats batching.
-        results = pool.map(worker, spec_list, chunksize=1)
+        # imap (not map) so completed shards stream out in spec order
+        # while later shards are still running.
+        for result in pool.imap(worker, spec_list, chunksize=1):
+            if on_result is not None:
+                on_result(result)
+            if keep_results:
+                results.append(result)
     return results

@@ -77,6 +77,20 @@ class _PendingCreate:
 class FuseService:
     """FUSE API and protocol engine attached to one overlay node."""
 
+    __slots__ = (
+        "overlay",
+        "host",
+        "sim",
+        "config",
+        "groups",
+        "notifications",
+        "_observers",
+        "_last_list_sent",
+        "_liveness_timeout",
+        "_fuse_id_serial",
+        "_stable_store",
+    )
+
     def __init__(self, overlay_node: OverlayNode, config: Optional[FuseConfig] = None) -> None:
         self.overlay = overlay_node
         self.host: Host = overlay_node.host
@@ -459,6 +473,8 @@ class FuseService:
         )
 
     def _shared_ids(self, neighbor: NodeId) -> List[FuseId]:
+        if not self.groups:
+            return []  # fast path: dominant during bootstrap at scale
         return sorted(
             fuse_id for fuse_id, state in self.groups.items() if neighbor in state.links
         )

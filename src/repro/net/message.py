@@ -20,6 +20,13 @@ from repro.net.address import NodeId
 class Message:
     """Base class for every simulated network message.
 
+    The base class carries ``__slots__`` so that message subclasses which
+    also declare ``__slots__`` (the high-rate overlay/FUSE wire messages)
+    allocate no per-instance ``__dict__`` — at 16,000 nodes the liveness
+    traffic creates hundreds of thousands of message objects per virtual
+    minute, and the dict per message dominated allocation churn.
+    Subclasses without ``__slots__`` still work; they simply keep a dict.
+
     Attributes:
         size_bytes: nominal wire size used by byte counters.  The paper's
             implementation used a verbose XML messaging layer; we default
@@ -27,10 +34,17 @@ class Message:
             (e.g. the 20-byte piggybacked hash rides inside ping messages).
     """
 
+    __slots__ = ("sender",)
+
     size_bytes: int = 256
 
-    # Filled in by the network at send time.
-    sender: Optional[NodeId] = None
+    def __getattr__(self, name: str) -> "Optional[NodeId]":
+        # ``sender`` is stamped by the network at send time; before that
+        # the slot is unset.  Reading it then must yield None (callers
+        # check ``message.sender is None``), not AttributeError.
+        if name == "sender":
+            return None
+        raise AttributeError(name)
 
     # The network shallow-copies each message at send time so stamping the
     # sender (and any receiver-side mutation) cannot leak back into an

@@ -53,7 +53,9 @@ class Network:
         # of by-name on every send/delivery (reset_counters() mutates the
         # same objects, so the references stay valid across measurement
         # windows), and event labels are only built when a trace consumer
-        # exists.
+        # exists.  The clock and the queue's push are bound directly: the
+        # send path schedules only into the future, so the kernel's
+        # not-in-the-past guard is redundant here.
         metrics = sim.metrics
         self._ctr_messages = metrics.counter("net.messages")
         self._ctr_bytes = metrics.counter("net.bytes")
@@ -62,6 +64,8 @@ class Network:
         self._ctr_breaks = metrics.counter("net.connection_breaks")
         self._msg_type_counters: Dict[str, Counter] = {}
         self._tracing = sim.trace is not None
+        self._clock = sim.clock
+        self._queue_push = sim.queue.push
 
     # ------------------------------------------------------------------
     # Host registry
@@ -135,24 +139,27 @@ class Network:
         if not sender.alive:
             return  # a dead process sends nothing
 
-        type_name = message.type_name
-        self._ctr_messages.increment()
+        type_name = type(message).__name__
+        self._ctr_messages.value += 1
         type_counter = self._msg_type_counters.get(type_name)
         if type_counter is None:
             type_counter = self.sim.metrics.counter(f"net.msg.{type_name}")
             self._msg_type_counters[type_name] = type_counter
-        type_counter.increment()
-        self._ctr_bytes.increment(message.size_bytes)
+        type_counter.value += 1
+        self._ctr_bytes.value += message.size_bytes
 
         # Per-message CPU/serialization occupancy at the sender: messages
         # queue behind each other (this is what makes large fan-outs at a
         # group root visible in Fig 8).
-        now = self.sim.now
+        now = self._clock._now
         busy = self._send_busy_until.get(src, now)
         inject_time = max(now, busy) + self.config.send_overhead_ms
         self._send_busy_until[src] = inject_time
 
-        route = self.routes.route(src, dst)
+        routes = self.routes
+        route = routes._routes.get((src, dst))
+        if route is None:
+            route = routes.route(src, dst)
         pair = (src, dst) if src <= dst else (dst, src)
         first_contact = pair not in self._connections
         # Messages built fresh for exactly one send opt out of the
@@ -162,17 +169,10 @@ class Network:
         payload.sender = src
 
         state = _SendAttemptState(
-            network=self,
-            src=src,
-            dst=dst,
-            message=payload,
-            route=route,
-            first_contact=first_contact,
-            on_fail=on_fail,
-            src_incarnation=sender.incarnation,
+            self, src, dst, payload, route, first_contact, on_fail, sender.incarnation
         )
         label = f"tx:{type_name}" if self._tracing else ""
-        self.sim.schedule_at(inject_time, state.attempt, label=label)
+        self._queue_push(inject_time, state.attempt, label)
 
     # Internal: called by _SendAttemptState on success of the first segment.
     def _mark_connected(self, a: NodeId, b: NodeId) -> None:
@@ -185,7 +185,7 @@ class Network:
         receiver = self._hosts[dst]
         if not receiver.alive:
             return
-        self._ctr_deliveries.increment()
+        self._ctr_deliveries.value += 1
         receiver.deliver(message)
 
     def __repr__(self) -> str:
@@ -244,55 +244,55 @@ class _SendAttemptState:
 
     def attempt(self) -> None:
         net = self.network
-        sim = net.sim
-        sender = net.host(self.src)
+        sender = net._hosts[self.src]
         if not sender.alive or sender.incarnation != self.src_incarnation:
             return  # sender died mid-send; nothing to do
 
-        net._ctr_transmissions.increment()
+        net._ctr_transmissions.value += 1
         loss = self.route.current_loss()
         reachable = net.faults.can_communicate(self.src, self.dst)
         dropped = (not reachable) or (net._rng.random() < loss)
         tracing = net._tracing
+        config = net.config
 
         if not dropped:
             latency = self.route.current_latency()
-            jitter = net._rng.uniform(0.0, net.config.jitter_fraction) * latency
+            jitter = net._rng.uniform(0.0, config.jitter_fraction) * latency
             extra = 0.0
             if self.first_contact:
                 # Connection establishment: one extra round trip of SYN
                 # handshake before data flows.
-                extra = net.config.connection_setup_rtts * 2.0 * latency
+                extra = config.connection_setup_rtts * 2.0 * latency
                 net._mark_connected(self.src, self.dst)
-            arrival = sim.now + extra + latency + jitter + net.config.recv_overhead_ms
-            sim.schedule_at(
+            arrival = net._clock._now + extra + latency + jitter + config.recv_overhead_ms
+            net._queue_push(
                 arrival,
                 self.deliver_cb,
-                label=f"rx:{self.message.type_name}" if tracing else "",
+                f"rx:{type(self.message).__name__}" if tracing else "",
             )
             return
 
         # Segment lost: back off and retry, or break the connection.
-        if self.attempt_index < net.config.max_retries:
+        if self.attempt_index < config.max_retries:
             self.attempt_index += 1
             delay = self.rto_ms
-            self.rto_ms *= net.config.rto_backoff
-            sim.schedule_after(
-                delay,
+            self.rto_ms *= config.rto_backoff
+            net._queue_push(
+                net._clock._now + delay,
                 self.attempt,
-                label=f"rtx:{self.message.type_name}" if tracing else "",
+                f"rtx:{type(self.message).__name__}" if tracing else "",
             )
             return
 
         # Retries exhausted: the socket breaks.
         net._break_connection(self.src, self.dst)
-        net._ctr_breaks.increment()
+        net._ctr_breaks.value += 1
         if self.on_fail is not None:
             on_fail = self.on_fail
-            sim.schedule_after(
+            net.sim.schedule_after(
                 self.rto_ms,
                 lambda: self._report_failure(on_fail),
-                label=f"brk:{self.message.type_name}" if tracing else "",
+                label=f"brk:{type(self.message).__name__}" if tracing else "",
             )
 
     def _deliver_now(self) -> None:

@@ -27,12 +27,16 @@ Handler = Callable[[Message], None]
 class RpcRequest(Message):
     """Base class for request messages carrying an rpc id."""
 
+    __slots__ = ("rpc_id",)
+
     def __init__(self) -> None:
         self.rpc_id: int = -1
 
 
 class RpcReply(Message):
     """Base class for replies; ``rpc_id`` echoes the request."""
+
+    __slots__ = ("rpc_id",)
 
     def __init__(self, rpc_id: int = -1) -> None:
         self.rpc_id = rpc_id
@@ -50,8 +54,23 @@ class _PendingRpc:
 class Host:
     """A simulated machine with a protocol stack on top."""
 
+    __slots__ = (
+        "network",
+        "node_id",
+        "name",
+        "alive",
+        "incarnation",
+        "_handlers",
+        "_rpc_seq",
+        "_pending_rpcs",
+        "_crash_listeners",
+        "_recover_listeners",
+        "_sim",
+    )
+
     def __init__(self, network: Network, node_id: NodeId, name: Optional[str] = None) -> None:
         self.network = network
+        self._sim = network.sim
         self.node_id = node_id
         self.name = name or node_name(node_id)
         self.alive = True
@@ -110,7 +129,7 @@ class Host:
             return
         # Exact class name first, then base classes — so a handler on
         # RpcReply catches every reply subclass.
-        handler = self._handlers.get(message.type_name)
+        handler = self._handlers.get(type(message).__name__)
         if handler is None:
             for base in type(message).__mro__[1:]:
                 handler = self._handlers.get(base.__name__)
@@ -139,7 +158,7 @@ class Host:
             if self.alive and self.incarnation == incarnation:
                 callback()
 
-        return self.network.sim.call_after(delay_ms, guarded, label=label or f"{self.name}:timer")
+        return self._sim.call_after(delay_ms, guarded, label=label or f"{self.name}:timer")
 
     # ------------------------------------------------------------------
     # RPC

@@ -22,6 +22,8 @@ class OverlayPing(Message):
     ping period.  Carries piggybacked client payloads (FUSE's 20-byte
     hash rides here), so its nominal size is ping + hash."""
 
+    __slots__ = ("nonce", "payload")
+
     size_bytes = 64 + 20
     # Built fresh per send and never touched again by the sender; the
     # dominant steady-state traffic, so it skips the per-send copy.
@@ -29,18 +31,24 @@ class OverlayPing(Message):
 
     def __init__(self, nonce: int, payload: Optional[OverlayPayload] = None) -> None:
         self.nonce = nonce
-        self.payload = payload or {}
+        # ``is None`` (not ``or {}``): an empty payload may be a shared
+        # read-only dict that must not be replaced by a fresh allocation.
+        self.payload = payload if payload is not None else {}
 
 
 class OverlayPingAck(Message):
     """Acknowledges a ping; also carries the responder's piggyback."""
+
+    __slots__ = ("nonce", "payload")
 
     size_bytes = 64 + 20
     copy_on_send = False
 
     def __init__(self, nonce: int, payload: Optional[OverlayPayload] = None) -> None:
         self.nonce = nonce
-        self.payload = payload or {}
+        # ``is None`` (not ``or {}``): an empty payload may be a shared
+        # read-only dict that must not be replaced by a fresh allocation.
+        self.payload = payload if payload is not None else {}
 
 
 class RouteEnvelope(Message):
@@ -50,7 +58,9 @@ class RouteEnvelope(Message):
     forwarding — the property FUSE's InstallChecking relies on.
     """
 
-    size_bytes = 128
+    # ``size_bytes`` is per-instance here (base 128 + payload), so it
+    # lives in the slots rather than as a class attribute.
+    __slots__ = ("dest_name", "payload", "origin", "hop_count", "size_bytes")
 
     def __init__(
         self,
@@ -70,7 +80,12 @@ class NeighborUpdate(Message):
     """Sent by a joining node to the nodes that must add it to their
     routing tables."""
 
+    __slots__ = ("joiner_name",)
+
     size_bytes = 128
+    # Constructed fresh for exactly one send at every call site and
+    # never reused by the sender, so it skips the per-send isolation copy.
+    copy_on_send = False
 
     def __init__(self, joiner_name: str) -> None:
         self.joiner_name = joiner_name
@@ -79,7 +94,12 @@ class NeighborUpdate(Message):
 class LeaveNotice(Message):
     """Graceful departure announcement to current neighbors."""
 
+    __slots__ = ("leaver_name",)
+
     size_bytes = 64
+    # Constructed fresh for exactly one send at every call site and
+    # never reused by the sender, so it skips the per-send isolation copy.
+    copy_on_send = False
 
     def __init__(self, leaver_name: str) -> None:
         self.leaver_name = leaver_name
@@ -88,6 +108,8 @@ class LeaveNotice(Message):
 class JoinProbe(Message):
     """Payload routed toward the joining node's own name to locate its
     root-ring insertion point."""
+
+    __slots__ = ("joiner", "joiner_name")
 
     size_bytes = 64
 
@@ -99,7 +121,12 @@ class JoinProbe(Message):
 class JoinReply(Message):
     """Direct response from the insertion-point node to the joiner."""
 
+    __slots__ = ()
+
     size_bytes = 256
+    # Constructed fresh for exactly one send at every call site and
+    # never reused by the sender, so it skips the per-send isolation copy.
+    copy_on_send = False
 
 
 class RepairExchange(Message):
@@ -107,7 +134,12 @@ class RepairExchange(Message):
     attributes a 13 % message-load increase under churn to this class of
     traffic; we model it as a fixed-fanout exchange per detected failure."""
 
+    __slots__ = ("failed_name",)
+
     size_bytes = 192
+    # Constructed fresh for exactly one send at every call site and
+    # never reused by the sender, so it skips the per-send isolation copy.
+    copy_on_send = False
 
     def __init__(self, failed_name: str) -> None:
         self.failed_name = failed_name

@@ -10,7 +10,7 @@ table, both-sides link monitoring, content piggybacked on pings).
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.net.address import NodeId
 from repro.net.message import Message
@@ -48,9 +48,32 @@ FailureListener = Callable[[NodeId, str], None]
 """(neighbor, reason) when this node stops trusting a neighbor; reason is
 "timeout", "broken", or "left"."""
 
+#: Shared payload for pings carrying nothing; never mutated (receivers
+#: only read piggyback payloads).
+_EMPTY_PAYLOAD: OverlayPayload = {}
+
 
 class OverlayNode:
     """One host's overlay protocol instance."""
+
+    __slots__ = (
+        "overlay",
+        "host",
+        "name",
+        "config",
+        "joined",
+        "table",
+        "_ping_nonce",
+        "_outstanding_pings",
+        "_sweep_timer",
+        "_join_timer",
+        "_join_attempts",
+        "_neighbor_cache",
+        "_upcall_listeners",
+        "_ping_listeners",
+        "_payload_providers",
+        "_failure_listeners",
+    )
 
     def __init__(self, overlay: "SkipNetOverlay", host: Host) -> None:
         self.overlay = overlay
@@ -66,6 +89,11 @@ class OverlayNode:
         self._sweep_timer = None
         self._join_timer = None
         self._join_attempts = 0
+        # (sorted id tuple, id frozenset) resolved from the current table,
+        # rebuilt lazily after each set_table.  Safe to cache because name
+        # -> host-id registrations only ever grow and every name in a
+        # pushed table is registered before the push.
+        self._neighbor_cache: Optional[Tuple[Tuple[NodeId, ...], frozenset]] = None
 
         self._upcall_listeners: List[UpcallListener] = []
         self._ping_listeners: List[PingListener] = []
@@ -99,14 +127,31 @@ class OverlayNode:
 
     def neighbors(self) -> Set[NodeId]:
         """Current distinct neighbor hosts (routing table visibility)."""
+        return set(self._neighbor_ids())
+
+    def _neighbor_ids(self) -> Tuple[NodeId, ...]:
+        """Sorted resolved neighbor ids, cached per pushed table — the
+        per-sweep ``resolve``+``sorted`` over the table was a bootstrap
+        hot spot at thousands of nodes."""
+        cache = self._neighbor_cache
+        if cache is not None:
+            return cache[0]
         if self.table is None:
-            return set()
+            return ()
+        resolve = self.overlay.resolve
         out: Set[NodeId] = set()
         for name in self.table.neighbor_names():
-            node_id = self.overlay.resolve(name)
+            node_id = resolve(name)
             if node_id is not None:
                 out.add(node_id)
-        return out
+        ordered = tuple(sorted(out))
+        self._neighbor_cache = (ordered, frozenset(ordered))
+        return ordered
+
+    def _neighbor_id_set(self) -> frozenset:
+        self._neighbor_ids()
+        cache = self._neighbor_cache
+        return cache[1] if cache is not None else frozenset()
 
     # ------------------------------------------------------------------
     # Join / leave
@@ -163,14 +208,14 @@ class OverlayNode:
 
     def _announce_to_neighbors(self) -> None:
         """Tell every routing-table neighbor we exist (NeighborUpdate)."""
-        for node_id in sorted(self.neighbors()):
+        for node_id in self._neighbor_ids():
             self.host.send(node_id, NeighborUpdate(self.name))
 
     def leave(self) -> None:
         """Graceful departure: notify neighbors, stop pinging."""
         if not self.joined:
             return
-        for node_id in sorted(self.neighbors()):
+        for node_id in self._neighbor_ids():
             self.host.send(node_id, LeaveNotice(self.name))
         self._teardown()
         self.overlay.member_leave(self)
@@ -194,16 +239,19 @@ class OverlayNode:
     # Table management (pushed by the overlay coordinator)
     # ------------------------------------------------------------------
     def set_table(self, table: NodeTable) -> None:
-        old_neighbors = self.neighbors() if self.table is not None else set()
         self.table = table
+        self._neighbor_cache = None
         if not self.joined:
             self.joined = True
             self._schedule_first_sweep()
         # Cancel outstanding pings to nodes that are no longer neighbors.
-        for node_id in old_neighbors - self.neighbors():
-            pending = self._outstanding_pings.pop(node_id, None)
-            if pending is not None:
-                pending[1].cancel()
+        # (Outstanding pings are always a subset of the previous table's
+        # neighbors, so filtering them against the new set is equivalent
+        # to the old-minus-new diff without recomputing the old set.)
+        if self._outstanding_pings:
+            current = self._neighbor_id_set()
+            for node_id in [n for n in self._outstanding_pings if n not in current]:
+                self._outstanding_pings.pop(node_id)[1].cancel()
 
     def _on_neighbor_update(self, _message: Message) -> None:
         # Table contents arrive via the coordinator; the message models
@@ -232,7 +280,7 @@ class OverlayNode:
     def _sweep(self) -> None:
         if not self.joined:
             return
-        for node_id in sorted(self.neighbors()):
+        for node_id in self._neighbor_ids():
             self._ping_neighbor(node_id)
         self._sweep_timer = self.host.call_after(
             self.config.ping_period_ms, self._sweep, label=f"{self.name}:sweep"
@@ -256,12 +304,16 @@ class OverlayNode:
         )
 
     def _collect_payload(self, neighbor: NodeId) -> OverlayPayload:
-        payload: OverlayPayload = {}
+        # Most pings carry nothing (no shared FUSE groups on the link);
+        # those share one empty dict instead of allocating per ping.
+        payload: Optional[OverlayPayload] = None
         for provider in self._payload_providers:
             contribution = provider(neighbor)
             if contribution:
+                if payload is None:
+                    payload = {}
                 payload.update(contribution)
-        return payload
+        return payload if payload is not None else _EMPTY_PAYLOAD
 
     def _on_ping(self, message: Message) -> None:
         ping = message
@@ -308,7 +360,7 @@ class OverlayNode:
         if name is None:
             return
         # Repair chatter toward a few live neighbors (Fig 10's churn cost).
-        others = [n for n in sorted(self.neighbors()) if n != node_id]
+        others = [n for n in self._neighbor_ids() if n != node_id]
         for peer in others[: self.config.repair_fanout]:
             self.host.send(peer, RepairExchange(name))
         self.overlay.report_dead(name)

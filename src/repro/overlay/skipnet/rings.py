@@ -74,9 +74,17 @@ class RingStructure:
     def members(self) -> List[NameId]:
         return list(self._rings[()])
 
-    def _prefixes(self, name: NameId) -> List[Tuple[int, ...]]:
+    def _prefixes(self, name: NameId):
+        """Yield the name's ring prefixes level by level.
+
+        A generator, not a list: every consumer breaks out after the
+        first ring with fewer than two members, which at realistic
+        membership sizes is level ~log_base(n) of the 17 possible —
+        building all 17 prefix tuples per call was a join-storm hot spot.
+        """
         digits = self._numeric[name]
-        return [tuple(digits[:l]) for l in range(self._digits + 1)]
+        for level in range(self._digits + 1):
+            yield digits[:level]
 
     def add(self, name: NameId) -> Set[NameId]:
         """Insert ``name``; returns the set of *other* nodes whose tables
@@ -160,6 +168,12 @@ class RingStructure:
             cw = ring[(rpos + 1) % len(ring)]
             ccw = ring[(rpos - 1) % len(ring)]
             ring_neighbors.append((level, cw, ccw))
+        if n > 2 * self._leaf_half + 1:
+            # The leaf window cannot wrap around the ring, so its entries
+            # are already distinct and exclude ``name`` — skip the dedup
+            # pass (the common case at scale; tables are pushed ~30 times
+            # per join during bootstrap).
+            return NodeTable(name, leaf, ring_neighbors)
         # Deduplicate the leaf list while preserving closeness order.
         seen: Set[NameId] = set()
         leaf_unique = []

@@ -22,7 +22,13 @@ Full DSL reference: ``docs/SCENARIOS.md``.
 """
 
 from repro.scenarios.builtin import BUILTIN, catalogue, fig9_scenario, fig10_scenario
-from repro.scenarios.runner import ScenarioResult, run_scenario, sweep_for
+from repro.scenarios.runner import (
+    ScenarioResult,
+    apply_overrides,
+    run_scenario,
+    run_scenario_sweep,
+    sweep_for,
+)
 from repro.scenarios.spec import SpecError, load, scenario_from_dict
 from repro.scenarios.timeline import (
     MINUTE_MS,
@@ -42,12 +48,14 @@ __all__ = [
     "ScenarioResult",
     "SpecError",
     "Track",
+    "apply_overrides",
     "catalogue",
     "execute",
     "fig10_scenario",
     "fig9_scenario",
     "load",
     "run_scenario",
+    "run_scenario_sweep",
     "scenario_from_dict",
     "sweep_for",
 ]

@@ -12,8 +12,22 @@ Scenarios execute through the shared trial engine
 (:mod:`repro.scenarios.runner` -> :mod:`repro.engine`): ``--seeds``
 replicates the scenario over base seeds, ``--jobs`` fans replicas across
 processes with seed-for-seed-identical aggregate metrics, and
-``--json``/``--out`` archive per-trial measurements.  The full DSL
-reference lives in ``docs/SCENARIOS.md``.
+``--json``/``--out`` archive per-trial measurements.
+
+**Sweep grids** map a whole response surface in one invocation: each
+``--grid axis=v1,v2,...`` adds an axis (``n_nodes`` or
+``tracks.<i>.<field>``; seeds replicate via ``--seeds``, not a grid
+axis), the cartesian product × ``--seeds`` becomes
+independent shards fanned over ``--jobs`` processes, and ``--out``
+archives one JSON line per shard *incrementally* as shards complete (in
+spec order — the file is byte-identical for any ``--jobs`` value and
+nothing accumulates in memory)::
+
+    python -m repro.scenarios.run steady --grid n_nodes=400,2000 \\
+        --grid tracks.0.n_groups=12,48 --jobs 4 --out sweep.jsonl
+
+The full DSL reference lives in ``docs/SCENARIOS.md``; the scaling model
+behind large sweeps lives in ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -23,10 +37,10 @@ import json
 import pathlib
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.scenarios.builtin import BUILTIN, catalogue
-from repro.scenarios.runner import run_scenario
+from repro.scenarios.runner import apply_overrides, run_scenario, run_scenario_sweep
 from repro.scenarios.spec import SpecError, load
 from repro.scenarios.timeline import Scenario
 
@@ -38,6 +52,36 @@ def _parse_seeds(text: Optional[str]) -> Optional[List[int]]:
         return [int(part) for part in text.split(",") if part.strip()]
     except ValueError as exc:
         raise SystemExit(f"--seeds expects comma-separated integers: {exc}")
+
+
+def _parse_grid_value(text: str) -> Any:
+    """int -> float -> bare string, in that order."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    if text in ("true", "false"):
+        return text == "true"
+    return text
+
+
+def _parse_grid(entries: Sequence[str]) -> Dict[str, List[Any]]:
+    grid: Dict[str, List[Any]] = {}
+    for entry in entries:
+        axis, sep, values = entry.partition("=")
+        if not sep or not axis or not values:
+            raise SystemExit(
+                f"--grid expects axis=v1,v2,... (got {entry!r})"
+            )
+        if axis in grid:
+            raise SystemExit(f"--grid axis {axis!r} given twice")
+        grid[axis] = [
+            _parse_grid_value(part) for part in values.split(",") if part.strip()
+        ]
+        if not grid[axis]:
+            raise SystemExit(f"--grid axis {axis!r} has no values")
+    return grid
 
 
 def _resolve(target: str, quick: bool) -> Scenario:
@@ -67,6 +111,72 @@ def _list_text() -> str:
     lines.append("")
     lines.append("Any .toml/.json spec file is also accepted (docs/SCENARIOS.md).")
     return "\n".join(lines)
+
+
+def _run_sweep(scenario: Scenario, args) -> int:
+    """Sharded sweep: stream one JSON line per completed shard to --out.
+
+    The archive lines carry no timing, so the file is byte-identical for
+    any ``--jobs`` value; shards are never accumulated in memory.
+    """
+    grid = _parse_grid(args.grid)
+    # Validate every axis against the scenario *before* touching --out:
+    # a typo'd axis must fail cleanly, not truncate an existing archive.
+    try:
+        apply_overrides(scenario, {axis: values[0] for axis, values in grid.items()})
+    except ValueError as exc:
+        raise SystemExit(f"bad --grid axis: {exc}")
+    out_path = pathlib.Path(args.out) if args.out else None
+    if out_path is not None and out_path.parent != pathlib.Path(""):
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_file = out_path.open("w") if out_path is not None else None
+
+    totals = {"trials": 0, "notifications_delivered": 0.0, "spurious_groups": 0.0}
+    started = time.time()
+
+    def sink(trial) -> None:
+        totals["trials"] += 1
+        m = trial.measurements
+        totals["notifications_delivered"] += m.get("notifications_delivered", 0)
+        totals["spurious_groups"] += m.get("spurious_groups", 0)
+        line = json.dumps(trial.to_json_dict(include_timing=False), sort_keys=True)
+        if out_file is not None:
+            out_file.write(line + "\n")
+            out_file.flush()
+        if args.json:
+            # --json streams the same deterministic shard lines to stdout.
+            print(line, flush=True)
+        print(
+            f"[shard {trial.spec.index}] params={dict(trial.spec.params)} "
+            f"seed={trial.spec.base_seed} "
+            f"msgs/s={m.get('msgs_per_sec', 0.0):.1f} "
+            f"({trial.wall_seconds:.1f}s)",
+            file=sys.stderr,
+        )
+
+    try:
+        run_scenario_sweep(
+            scenario,
+            grid,
+            jobs=max(1, args.jobs),
+            seeds=_parse_seeds(args.seeds),
+            on_result=sink,
+            keep_results=False,
+        )
+    finally:
+        if out_file is not None:
+            out_file.close()
+    elapsed = time.time() - started
+    where = f" -> {out_path}" if out_path is not None else ""
+    print(
+        f"[sweep {scenario.name}: {totals['trials']} shards, "
+        f"{int(totals['notifications_delivered'])} notifications, "
+        f"{int(totals['spurious_groups'])} spurious groups, "
+        f"{elapsed:.1f}s wall, jobs={args.jobs}]{where}",
+        # With --json, stdout carries only the shard JSON lines.
+        file=sys.stderr if args.json else sys.stdout,
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -100,6 +210,17 @@ def main(argv=None) -> int:
         help="comma-separated base seeds replacing the scenario default",
     )
     parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2,...",
+        help="add a sweep axis (n_nodes or tracks.<i>.<field>); "
+        "repeatable — the cartesian product x --seeds becomes "
+        "independent shards fanned over --jobs, archived incrementally "
+        "to --out as one JSON line per shard (--json streams the same "
+        "lines to stdout)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable per-trial results instead of the table",
@@ -116,6 +237,8 @@ def main(argv=None) -> int:
         parser.error("pass a scenario name or spec file (or --list)")
 
     scenario = _resolve(args.scenario, args.quick)
+    if args.grid:
+        return _run_sweep(scenario, args)
     started = time.time()
     result = run_scenario(
         scenario, jobs=max(1, args.jobs), seeds=_parse_seeds(args.seeds)

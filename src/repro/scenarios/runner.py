@@ -10,9 +10,11 @@ JSON archiving — therefore applies to scenarios unchanged.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import dataclasses
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
+from repro.engine.trial import TrialResult
 from repro.scenarios.timeline import Scenario, execute
 
 
@@ -20,6 +22,97 @@ def _trial(spec: TrialSpec) -> Measurements:
     """Module-level trial function (picklable for the process pool)."""
     scenario: Scenario = spec.context
     return execute(scenario, seed=spec.seed)
+
+
+def apply_overrides(scenario: Scenario, overrides: Mapping[str, Any]) -> Scenario:
+    """A new scenario with one sweep grid point applied.
+
+    Supported axis keys:
+
+    * ``n_nodes`` — world size;
+    * ``tracks.<i>.<field>`` — any field of the i-th track (tracks are
+      dataclasses, so the override goes through ``dataclasses.replace``
+      and the track's own validation).
+
+    Seeds are deliberately *not* an axis: the trial engine derives one
+    seed per (experiment, base seed, grid point) and replicates the grid
+    over ``--seeds`` — a ``seed`` override here would be silently
+    shadowed by that derivation.
+    """
+    n_nodes = scenario.n_nodes
+    tracks = list(scenario.tracks)
+    for key, value in overrides.items():
+        if key == "n_nodes":
+            n_nodes = int(value)
+        elif key == "seed":
+            raise ValueError(
+                "'seed' is not a sweep axis — replicate over base seeds "
+                "with --seeds instead"
+            )
+        elif key.startswith("tracks."):
+            try:
+                _prefix, index_text, field = key.split(".", 2)
+                index = int(index_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad track axis {key!r} (want tracks.<index>.<field>)"
+                ) from None
+            if not 0 <= index < len(tracks):
+                raise ValueError(
+                    f"axis {key!r}: scenario {scenario.name!r} has "
+                    f"{len(tracks)} tracks"
+                )
+            track = tracks[index]
+            if not hasattr(track, field):
+                raise ValueError(
+                    f"axis {key!r}: {type(track).__name__} has no field {field!r}"
+                )
+            tracks[index] = dataclasses.replace(track, **{field: value})
+        else:
+            raise ValueError(
+                f"unknown sweep axis {key!r} (want n_nodes or "
+                "tracks.<index>.<field>)"
+            )
+    return dataclasses.replace(scenario, n_nodes=n_nodes, tracks=tuple(tracks))
+
+
+def _sweep_trial(spec: TrialSpec) -> Measurements:
+    """Sweep trial: apply the spec's grid point, then execute."""
+    scenario = apply_overrides(spec.context, spec.params)
+    return execute(scenario, seed=spec.seed)
+
+
+def run_scenario_sweep(
+    scenario: Scenario,
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+    on_result: Optional[Callable[[TrialResult], None]] = None,
+    keep_results: bool = True,
+) -> ResultSet:
+    """Shard a sweep grid over a scenario across processes.
+
+    Each grid point × base seed is one independent shard (its own world,
+    seeded via the engine's position-independent derivation), so results
+    are seed-for-seed identical for any ``jobs`` value.  ``on_result``
+    receives completed shards in spec order as they finish — pass a
+    writer there and ``keep_results=False`` to archive a large sweep
+    incrementally instead of accumulating it in memory.
+    """
+    experiment = f"scenario-sweep:{scenario.name}"
+    sweep = Sweep(
+        grid=dict(grid), seeds=tuple(seeds) if seeds else (scenario.seed,)
+    )
+    specs = sweep.expand(experiment, context=scenario)
+    results = run_trials(
+        _sweep_trial,
+        specs,
+        jobs=jobs,
+        on_result=on_result,
+        keep_results=keep_results,
+    )
+    return ResultSet(results, experiment=experiment)
 
 
 def sweep_for(scenario: Scenario, seeds: Optional[Sequence[int]] = None) -> Sweep:

@@ -223,12 +223,17 @@ def execute(scenario: Scenario, seed: Optional[int] = None) -> Measurements:
     msgs = world.sim.metrics.counter("net.messages")
     measured_msgs = 0
     measured_ms = 0.0
+    phase_rates: Dict[str, float] = {}
     for phase in scenario.phases:
         for track in scenario.tracks:
             track.on_phase_start(ctx, phase)
         if phase.measure:
             world.sim.metrics.reset_counters()
+        msgs_before = msgs.value
         world.run_for(phase.minutes * MINUTE_MS)
+        phase_msgs = msgs.value - msgs_before
+        if phase.minutes > 0:
+            phase_rates[phase.name] = phase_msgs / (phase.minutes * 60.0)
         if phase.measure:
             measured_msgs += msgs.value
             measured_ms += phase.minutes * MINUTE_MS
@@ -236,6 +241,32 @@ def execute(scenario: Scenario, seed: Optional[int] = None) -> Measurements:
             track.on_phase_end(ctx, phase)
 
     out = _aggregate(ctx, measured_msgs, measured_ms)
+    # Per-phase measurement windows: a per-phase message rate for every
+    # phase, and per-phase first-notification counts (observable nodes),
+    # so partition-vs-healed behaviour is visible in one run instead of
+    # pooled across all measured phases.
+    for name, rate in phase_rates.items():
+        out[f"msgs_per_sec[{name}]"] = rate
+    last_phase = scenario.phases[-1]
+    for phase in scenario.phases:
+        start = ctx.phase_start_ms[phase.name]
+        end = ctx.phase_end_ms[phase.name]
+        # Half-open windows, except the final phase: events scheduled at
+        # exactly the scenario's end time do dispatch, so the last window
+        # closes inclusively.
+        if phase is last_phase:
+            count = sum(
+                1
+                for (_fid, node), when in ctx.notification_times.items()
+                if start <= when <= end and node not in ctx.unobservable
+            )
+        else:
+            count = sum(
+                1
+                for (_fid, node), when in ctx.notification_times.items()
+                if start <= when < end and node not in ctx.unobservable
+            )
+        out[f"notifications[{phase.name}]"] = count
     out.update(ctx.extra)
     return out
 
