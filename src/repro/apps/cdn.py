@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.fuse.api import GroupStatus
 from repro.fuse.service import FuseService
 from repro.net.address import NodeId
 from repro.net.message import Message
@@ -103,27 +104,34 @@ class CdnOrigin:
               on_done: Optional[Callable[[bool], None]] = None) -> None:
         """Replicate ``doc`` onto ``replicas`` under a fresh FUSE group."""
         version = next(self._version)
+        origin_id = self.host.node_id
 
-        def on_group(fuse_id, status) -> None:
-            if status != "ok" or fuse_id is None:
-                if on_done is not None:
-                    on_done(False)
-                return
+        def on_live(group) -> None:
+            fuse_id = group.fuse_id
             self.docs[doc] = {
                 "version": version,
                 "content": content,
                 "replicas": list(replicas),
                 "fuse_id": fuse_id,
             }
-            self.fuse.register_failure_handler(
-                fuse_id, lambda _f, d=doc, fid=fuse_id: self._on_group_failed(d, fid)
+            # Fate-sharing at the origin: react to the origin's *own*
+            # notification (same instant the old per-node failure handler
+            # fired), not to the first notification anywhere.
+            group.on_member_notified(
+                lambda _g, node, _reason, d=doc, fid=fuse_id: self._on_group_failed(d, fid)
+                if node == origin_id
+                else None
             )
             for replica in replicas:
                 self.host.send(replica, DocPlace(doc, version, content, fuse_id))
             if on_done is not None:
                 on_done(True)
 
-        self.fuse.create_group(list(replicas), on_group)
+        def on_notified(group, _reason) -> None:
+            if group.status is GroupStatus.FAILED_CREATE and on_done is not None:
+                on_done(False)
+
+        self.fuse.create_group(list(replicas)).on_live(on_live).on_notified(on_notified)
 
     def push_update(self, doc: str, content: str) -> bool:
         """Push a new version to the current replica set.  Returns False

@@ -34,6 +34,7 @@ from repro.apps.svtree.messages import (
     SubscribeAck,
     SubscribeJoin,
 )
+from repro.fuse.api import GroupStatus
 from repro.fuse.service import FuseService
 from repro.net.address import NodeId
 from repro.net.message import Message
@@ -184,23 +185,33 @@ class SVTreeService:
         # Fate-share the content link with the bypassed RPF nodes (§4).
         members = [parent] + [b for b in ack.bypassed if b != self.host.node_id]
         version = state.version
+        self_id = self.host.node_id
 
-        def on_created(fuse_id, status) -> None:
+        def on_live(group) -> None:
             current = self.topics.get(ack.topic)
             if current is None or current.version != version:
                 return  # a newer subscription superseded this attempt
-            if status != "ok" or fuse_id is None:
-                current.parent = None
-                self._retry_subscribe(current)
-                return
-            current.parent_fuse_id = fuse_id
+            current.parent_fuse_id = group.fuse_id
             self.group_sizes.append(1 + len(members))
-            self.fuse.register_failure_handler(
-                fuse_id, lambda _f: self._on_link_failed(ack.topic, version)
+            # Garbage-collect-and-retry on the *local* notification (§4):
+            # same instant the old per-node failure handler fired.
+            group.on_member_notified(
+                lambda _g, node, _reason: self._on_link_failed(ack.topic, version)
+                if node == self_id
+                else None
             )
-            self.host.send(parent, LinkReady(ack.topic, version, fuse_id))
+            self.host.send(parent, LinkReady(ack.topic, version, group.fuse_id))
 
-        self.fuse.create_group(members, on_created)
+        def on_notified(group, _reason) -> None:
+            if group.status is not GroupStatus.FAILED_CREATE:
+                return
+            current = self.topics.get(ack.topic)
+            if current is None or current.version != version:
+                return
+            current.parent = None
+            self._retry_subscribe(current)
+
+        self.fuse.create_group(members).on_live(on_live).on_notified(on_notified)
 
     def _on_link_ready(self, message: Message) -> None:
         ready = message

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
+from repro.fuse.api import GroupLedger
 from repro.fuse.config import FuseConfig
 from repro.fuse.topologies import (
     AllToAllFuse,
@@ -101,19 +102,27 @@ def _run_alternative(kind: str, n_nodes: int, n_groups: int, group_size: int,
     net = Network(sim, topo)
     hosts = [Host(net, h) for h in host_ids[: n_nodes + 1]]
     cfg = TopologyConfig()
+    # One ledger per deployment (as FuseWorld does) so handles see every
+    # member's notifications, not just the local node's.
+    ledger = GroupLedger(sim, net.faults)
     if kind == "central":
         CentralServer(hosts[-1], cfg)
-        services = [CentralServerFuse(h, hosts[-1].node_id, cfg) for h in hosts[:-1]]
+        services = [
+            CentralServerFuse(h, hosts[-1].node_id, cfg, ledger=ledger)
+            for h in hosts[:-1]
+        ]
     elif kind == "direct-tree":
-        services = [DirectTreeFuse(h, cfg) for h in hosts[:-1]]
+        services = [DirectTreeFuse(h, cfg, ledger=ledger) for h in hosts[:-1]]
     else:
-        services = [AllToAllFuse(h, cfg) for h in hosts[:-1]]
+        services = [AllToAllFuse(h, cfg, ledger=ledger) for h in hosts[:-1]]
     rng = sim.rng.stream("ablation-groups")
     for _ in range(n_groups):
         indices = rng.sample(range(len(services)), group_size)
         root, members = indices[0], [hosts[i].node_id for i in indices[1:]]
         done = []
-        services[root].create_group(members, lambda fid, st: done.append(st))
+        handle = services[root].create_group(members)
+        handle.on_live(lambda _g: done.append("ok"))
+        handle.on_notified(lambda _g, reason: done.append(reason.value))
         while not done and sim.step():
             pass
     sim.metrics.reset_counters()
@@ -232,10 +241,12 @@ def _repair_trial(spec: TrialSpec) -> Measurements:
         world.restart(victim)
         world.run_for_minutes(1.0)
     world.run_for_minutes(2.0)
+    # Ledger accounting: a false positive is any group one of its own
+    # members was notified about (no member was ever faulted here).
     false_positives = sum(
         1
         for fid, members in group_members
-        if any(fid in world.fuse(m).notifications for m in members)
+        if any(world.ledger.was_notified(fid, m) for m in members)
     )
     return {"groups": len(group_members), "false_positives": false_positives}
 

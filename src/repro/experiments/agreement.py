@@ -18,7 +18,7 @@ verdict over many schedules concurrently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.engine import Measurements, ResultSet, Sweep, TrialSpec, run_trials
 from repro.experiments.report import format_table
@@ -91,24 +91,12 @@ def _trial(spec: TrialSpec) -> Measurements:
     )
 
     groups: List[Tuple[str, List[int]]] = []
-    fire_counts: Dict[Tuple[str, int], int] = {}
-    fire_times: Dict[Tuple[str, int], float] = {}
     for _ in range(config.n_groups):
         root, *members = rng.sample(world.node_ids, config.group_size)
         fid, status, _ = world.create_group_sync(root, members)
         if status != "ok":
             continue
-        everyone = [root] + members
-        groups.append((fid, everyone))
-        for node in everyone:
-            key = (fid, node)
-            fire_counts[key] = 0
-
-            def handler(_f, key=key):
-                fire_counts[key] += 1
-                fire_times.setdefault(key, world.now)
-
-            world.fuse(node).register_failure_handler(fid, handler)
+        groups.append((fid, [root] + members))
 
     world.run_for_minutes(2.0)
 
@@ -146,30 +134,35 @@ def _trial(spec: TrialSpec) -> Measurements:
 
     world.run_for_minutes(config.observe_minutes)
 
-    # Verdict: every live member of every affected group heard exactly once.
+    # Verdict: every live member of every affected group heard exactly
+    # once — read straight off the world ledger (first-cause rows are the
+    # deliveries; a second report for the same (group, member) lands in
+    # ledger.duplicates, which is exactly the exactly-once violation).
     # Violations are encoded as flat "fid:node" strings to honor the
     # engine's scalar-or-flat-list measurement contract.
+    ledger = world.ledger
+    dup_pairs = {
+        (rec.fuse_id, rec.node) for rec in ledger.duplicates if rec.role != "delegate"
+    }
     groups_affected = 0
     missed: List[str] = []
     duplicates: List[str] = []
     latency_min: List[float] = []
     for fid, members in groups:
-        affected = any((fid, node) in fire_times for node in members) or any(
-            m in victims for m in members
-        )
+        times = ledger.notification_times(fid)
+        affected = bool(times) or any(m in victims for m in members)
         if not affected:
             continue
         groups_affected += 1
         for node in members:
             if not world.host(node).alive:
                 continue  # crashed processes are exempt (fail-stop)
-            count = fire_counts[(fid, node)]
-            if count == 0:
+            if node not in times:
                 missed.append(f"{fid}:{node}")
-            elif count > 1:
+            elif (fid, node) in dup_pairs:
                 duplicates.append(f"{fid}:{node}")
             else:
-                latency_min.append((fire_times[(fid, node)] - t0) / 60_000.0)
+                latency_min.append((times[node] - t0) / 60_000.0)
     return {
         "bound_minutes": bound_ms / 60_000.0,
         "groups_affected": groups_affected,

@@ -102,12 +102,11 @@ def _trial(spec: TrialSpec) -> Measurements:
     world.run_for_minutes(config.run_minutes)
 
     measurements: Measurements = {"median_route_loss": median_route_loss}
+    # A group "failed" if any node — member or delegate — recorded a
+    # notification for it: exactly what the world ledger indexes.
+    notified = world.ledger.notified_group_ids()
     for size, fids in groups.items():
-        failed = sum(
-            1
-            for fid in fids
-            if any(fid in world.fuse(n).notifications for n in world.node_ids)
-        )
+        failed = sum(1 for fid in fids if fid in notified)
         measurements[f"failed[{size}]"] = failed
         measurements[f"total[{size}]"] = len(fids)
     return measurements

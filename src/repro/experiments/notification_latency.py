@@ -86,13 +86,9 @@ def _trial(spec: TrialSpec) -> Measurements:
         if status != "ok":
             continue
         everyone = [root] + members
-        times: Dict[int, float] = {}
-        for node in everyone:
-            world.fuse(node).observe_notifications(
-                lambda f, reason, node=node, fid=fid: times.setdefault(node, world.now)
-                if f == fid
-                else None
-            )
+        # The world ledger records every member's first notification; the
+        # live view replaces the per-node observer bookkeeping.
+        times: Dict[int, float] = world.ledger.notification_times(fid)
         signaller = rng.choice(everyone)
         t0 = world.now
         world.fuse(signaller).signal_failure(fid)

@@ -3,6 +3,10 @@
 The public API follows Fig 1 of the paper:
 
 * :meth:`FuseService.create_group`  — ``CreateGroup(NodeId[] set)``;
+  returns a first-class :class:`~repro.fuse.api.FuseGroup` handle with
+  lifecycle subscriptions (``on_live`` / ``on_notified`` /
+  ``on_member_notified``), backed by the world's
+  :class:`~repro.fuse.api.GroupLedger`;
 * :meth:`FuseService.register_failure_handler` —
   ``RegisterFailureHandler(Callback, FuseId)``;
 * :meth:`FuseService.signal_failure` — ``SignalFailure(FuseId)``.
@@ -19,8 +23,22 @@ overlay's existing ping traffic (§5-§6).  Alternative liveness topologies
 from §5.1 live in :mod:`repro.fuse.topologies`.
 """
 
+from repro.fuse.api import (
+    FuseGroup,
+    GroupLedger,
+    GroupStatus,
+    NotificationReason,
+)
 from repro.fuse.config import FuseConfig
 from repro.fuse.ids import FuseId
 from repro.fuse.service import FuseService
 
-__all__ = ["FuseConfig", "FuseId", "FuseService"]
+__all__ = [
+    "FuseConfig",
+    "FuseGroup",
+    "FuseId",
+    "FuseService",
+    "GroupLedger",
+    "GroupStatus",
+    "NotificationReason",
+]

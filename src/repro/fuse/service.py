@@ -35,8 +35,15 @@ from __future__ import annotations
 import copy
 import hashlib
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Set
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
+from repro.fuse.api import (
+    DEPRECATED_CREATE_MSG,
+    FuseGroup,
+    GroupLedger,
+    ledger_completion,
+)
 from repro.fuse.config import FuseConfig
 from repro.fuse.ids import FuseId, make_fuse_id
 from repro.fuse.messages import (
@@ -82,23 +89,34 @@ class FuseService:
         "host",
         "sim",
         "config",
+        "ledger",
         "groups",
         "notifications",
-        "_observers",
         "_last_list_sent",
         "_liveness_timeout",
         "_fuse_id_serial",
         "_stable_store",
     )
 
-    def __init__(self, overlay_node: OverlayNode, config: Optional[FuseConfig] = None) -> None:
+    def __init__(
+        self,
+        overlay_node: OverlayNode,
+        config: Optional[FuseConfig] = None,
+        ledger: Optional[GroupLedger] = None,
+    ) -> None:
         self.overlay = overlay_node
         self.host: Host = overlay_node.host
         self.sim = self.host.network.sim
         self.config = config or FuseConfig()
+        # The notification ledger — shared world-wide when constructed by
+        # FuseWorld, private otherwise.  All group lifecycle accounting
+        # (creates, per-member notifications, handle dispatch) goes
+        # through it; see repro.fuse.api.
+        self.ledger = ledger if ledger is not None else GroupLedger(
+            self.sim, self.host.network.faults
+        )
         self.groups: Dict[FuseId, GroupState] = {}
         self.notifications: Dict[FuseId, str] = {}
-        self._observers: List[NotificationObserver] = []
         self._last_list_sent: Dict[NodeId, float] = {}
         self._liveness_timeout = self.config.effective_liveness_timeout(
             overlay_node.config.liveness_silence_ms
@@ -194,15 +212,34 @@ class FuseService:
     def name(self) -> str:
         return self.host.name
 
-    def create_group(self, members: Sequence[NodeId], on_complete: CreateCallback) -> FuseId:
+    def create_group(
+        self,
+        members: Sequence[NodeId],
+        on_complete: Optional[CreateCallback] = None,
+    ) -> Union[FuseGroup, FuseId]:
         """CreateGroup: build a group of this node (the root) plus ``members``.
 
-        ``on_complete(fuse_id, "ok")`` fires once every member has been
-        contacted (blocking-create semantics, §3.2); on failure it fires as
-        ``on_complete(None, reason)`` and all contacted members are
-        notified so no state is orphaned.  Returns the FUSE ID assigned to
-        the attempt (useful for tracing; only valid if creation succeeds).
+        Returns a :class:`~repro.fuse.api.FuseGroup` handle carrying the
+        assigned FUSE ID and lifecycle subscriptions: ``on_live`` fires
+        once every member has been contacted (blocking-create semantics,
+        §3.2); on failure the handle moves to ``failed_create``,
+        ``on_notified`` fires, and all contacted members are notified so
+        no state is orphaned (§6.2).  Every attempt and outcome is also
+        recorded on :attr:`ledger`.
+
+        Passing ``on_complete`` is the **deprecated** legacy form: the
+        callback fires as ``on_complete(fuse_id, "ok")`` /
+        ``on_complete(None, reason)`` exactly as before (still routed
+        through the ledger) and the bare FUSE ID is returned.
         """
+        if on_complete is not None:
+            warnings.warn(DEPRECATED_CREATE_MSG, DeprecationWarning, stacklevel=2)
+            return self._start_create(members, on_complete).fuse_id
+        return self._start_create(members, None)
+
+    def _start_create(
+        self, members: Sequence[NodeId], legacy_cb: Optional[CreateCallback]
+    ) -> FuseGroup:
         member_ids = [m for m in dict.fromkeys(members) if m != self.host.node_id]
         fuse_id = make_fuse_id(self.name, serial=next(self._fuse_id_serial))
         state = GroupState(
@@ -219,11 +256,18 @@ class FuseService:
         self.groups[fuse_id] = state
         self.sim.metrics.counter("fuse.create_attempts").increment()
 
-        if not member_ids:
-            self.sim.schedule_soon(lambda: self._complete_create(state, on_complete))
-            return fuse_id
+        handle = FuseGroup(
+            self, self.ledger, fuse_id, self.host.node_id, [self.host.node_id] + member_ids
+        )
+        self.ledger.record_create(fuse_id, self.host.node_id, handle.members)
+        self.ledger.attach_handle(handle)
+        done = ledger_completion(self.ledger, fuse_id, legacy_cb)
 
-        pending = _PendingCreate(set(member_ids), on_complete)
+        if not member_ids:
+            self.sim.schedule_soon(lambda: self._complete_create(state, done))
+            return handle
+
+        pending = _PendingCreate(set(member_ids), done)
         state.pending_create = pending
         request_names = [self.name] + state.member_names
         for member in member_ids:
@@ -232,9 +276,10 @@ class FuseService:
         if not self.config.blocking_create:
             # Ablation: hand the ID back immediately; liveness checking
             # must catch unreachable members after the fact.
-            self.sim.schedule_soon(lambda: on_complete(fuse_id, "ok"))
+            self.sim.schedule_soon(lambda: done(fuse_id, "ok"))
             pending.on_complete = lambda *_: None
-        return fuse_id
+        return handle
+
 
     def register_failure_handler(self, fuse_id: FuseId, handler: FailureHandler) -> None:
         """RegisterFailureHandler: invoke ``handler`` on group failure.
@@ -266,8 +311,22 @@ class FuseService:
             self._fail_group(state, "signaled")
 
     def observe_notifications(self, observer: NotificationObserver) -> None:
-        """Register a test/experiment hook fired on every hard failure."""
-        self._observers.append(observer)
+        """**Deprecated** test/experiment hook fired on every hard failure
+        at this node.  Routed through the ledger: read
+        ``FuseWorld.ledger`` or subscribe ``FuseGroup.on_member_notified``
+        instead."""
+        warnings.warn(
+            "observe_notifications is deprecated; read the world's "
+            "GroupLedger or subscribe FuseGroup.on_member_notified",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        node_id = self.host.node_id
+        self.ledger.add_note_listener(
+            lambda record, _first: observer(record.fuse_id, record.raw)
+            if record.node == node_id
+            else None
+        )
 
     def live_group_ids(self) -> List[FuseId]:
         return sorted(self.groups)
@@ -770,8 +829,8 @@ class FuseService:
         handler = state.handler
         if handler is not None:
             handler(state.fuse_id)
-        for observer in self._observers:
-            observer(state.fuse_id, reason)
+        role = "root" if state.is_root else ("member" if state.is_member else "delegate")
+        self.ledger.notified(state.fuse_id, self.host.node_id, role, reason)
 
     def _remove_state(self, state: GroupState) -> None:
         """Silent teardown for delegate-only or never-completed state."""

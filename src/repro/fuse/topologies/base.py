@@ -10,9 +10,16 @@ forwards notifications — live in the subclasses.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
+from repro.fuse.api import (
+    DEPRECATED_CREATE_MSG,
+    FuseGroup,
+    GroupLedger,
+    ledger_completion,
+)
 from repro.fuse.ids import FuseId, make_fuse_id
 from repro.net.address import NodeId
 from repro.net.message import Message
@@ -108,10 +115,18 @@ class AltGroup:
 class AlternativeFuseBase:
     """API surface + creation protocol common to all three topologies."""
 
-    def __init__(self, host: Host, config: Optional[TopologyConfig] = None) -> None:
+    def __init__(
+        self,
+        host: Host,
+        config: Optional[TopologyConfig] = None,
+        ledger: Optional[GroupLedger] = None,
+    ) -> None:
         self.host = host
         self.sim = host.network.sim
         self.config = config or TopologyConfig()
+        self.ledger = ledger if ledger is not None else GroupLedger(
+            self.sim, host.network.faults
+        )
         self.groups: Dict[FuseId, AltGroup] = {}
         self.notifications: Dict[FuseId, str] = {}
         self._nonce = itertools.count(1)
@@ -126,18 +141,37 @@ class AlternativeFuseBase:
     # ------------------------------------------------------------------
     # Public API (same three calls as the overlay implementation)
     # ------------------------------------------------------------------
-    def create_group(self, members: Sequence[NodeId], on_complete: CreateCallback) -> FuseId:
+    def create_group(
+        self,
+        members: Sequence[NodeId],
+        on_complete: Optional[CreateCallback] = None,
+    ) -> Union[FuseGroup, FuseId]:
+        """Same contract as :meth:`repro.fuse.service.FuseService.create_group`:
+        returns a :class:`FuseGroup` handle; the ``on_complete`` form is
+        the deprecated legacy shim and returns the bare FUSE ID."""
+        if on_complete is not None:
+            warnings.warn(DEPRECATED_CREATE_MSG, DeprecationWarning, stacklevel=2)
+            return self._start_create(members, on_complete).fuse_id
+        return self._start_create(members, None)
+
+    def _start_create(
+        self, members: Sequence[NodeId], legacy_cb: Optional[CreateCallback]
+    ) -> FuseGroup:
         member_ids = [self.host.node_id] + [
             m for m in dict.fromkeys(members) if m != self.host.node_id
         ]
         fuse_id = make_fuse_id(self.host.name, serial=next(self._fuse_id_serial))
         group = AltGroup(fuse_id, self.host.node_id, member_ids, self.sim.now)
         self.groups[fuse_id] = group
+        handle = FuseGroup(self, self.ledger, fuse_id, self.host.node_id, member_ids)
+        self.ledger.record_create(fuse_id, self.host.node_id, member_ids)
+        self.ledger.attach_handle(handle)
+        done = ledger_completion(self.ledger, fuse_id, legacy_cb)
         self._group_installed(group)
         others = group.peers(self.host.node_id)
         if not others:
-            self.sim.schedule_soon(lambda: on_complete(fuse_id, "ok"))
-            return fuse_id
+            self.sim.schedule_soon(lambda: done(fuse_id, "ok"))
+            return handle
         awaiting = set(others)
         failed = [False]
 
@@ -147,7 +181,7 @@ class AlternativeFuseBase:
                     return
                 awaiting.discard(member)
                 if not awaiting:
-                    on_complete(fuse_id, "ok")
+                    done(fuse_id, "ok")
 
             return inner
 
@@ -157,7 +191,7 @@ class AlternativeFuseBase:
                     return
                 failed[0] = True
                 self._create_failed(group, f"member {member} unreachable ({why})")
-                on_complete(None, f"member {member} unreachable")
+                done(None, f"member {member} unreachable")
 
             return inner
 
@@ -169,7 +203,7 @@ class AlternativeFuseBase:
                 on_reply(member),
                 on_failure(member),
             )
-        return fuse_id
+        return handle
 
     def register_failure_handler(self, fuse_id: FuseId, handler: FailureHandler) -> None:
         group = self.groups.get(fuse_id)
@@ -292,6 +326,8 @@ class AlternativeFuseBase:
         self.sim.metrics.counter("altfuse.hard_notifications").increment()
         if group.handler is not None:
             group.handler(group.fuse_id)
+        role = "root" if group.root == self.host.node_id else "member"
+        self.ledger.notified(group.fuse_id, self.host.node_id, role, reason)
 
     def _on_crash(self) -> None:
         self.groups.clear()

@@ -21,8 +21,15 @@ count — but all traffic converges on the server.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Set
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
+from repro.fuse.api import (
+    DEPRECATED_CREATE_MSG,
+    FuseGroup,
+    GroupLedger,
+    ledger_completion,
+)
 from repro.fuse.ids import FuseId, make_fuse_id
 from repro.fuse.topologies.base import (
     AltCreateReply,
@@ -148,11 +155,20 @@ class CentralServer:
 class CentralServerFuse:
     """Member-side FUSE API backed by a :class:`CentralServer`."""
 
-    def __init__(self, host: Host, server_id: NodeId, config: Optional[TopologyConfig] = None) -> None:
+    def __init__(
+        self,
+        host: Host,
+        server_id: NodeId,
+        config: Optional[TopologyConfig] = None,
+        ledger: Optional[GroupLedger] = None,
+    ) -> None:
         self.host = host
         self.sim = host.network.sim
         self.server_id = server_id
         self.config = config or TopologyConfig()
+        self.ledger = ledger if ledger is not None else GroupLedger(
+            self.sim, host.network.faults
+        )
         self.groups: Dict[FuseId, AltGroup] = {}
         self.notifications: Dict[FuseId, str] = {}
         self._nonce = itertools.count(1)
@@ -167,13 +183,32 @@ class CentralServerFuse:
     # ------------------------------------------------------------------
     # API
     # ------------------------------------------------------------------
-    def create_group(self, members: Sequence[NodeId], on_complete: CreateCallback) -> FuseId:
+    def create_group(
+        self,
+        members: Sequence[NodeId],
+        on_complete: Optional[CreateCallback] = None,
+    ) -> Union[FuseGroup, FuseId]:
+        """Same contract as the overlay implementation: returns a
+        :class:`FuseGroup` handle; the ``on_complete`` form is the
+        deprecated legacy shim and returns the bare FUSE ID."""
+        if on_complete is not None:
+            warnings.warn(DEPRECATED_CREATE_MSG, DeprecationWarning, stacklevel=2)
+            return self._start_create(members, on_complete).fuse_id
+        return self._start_create(members, None)
+
+    def _start_create(
+        self, members: Sequence[NodeId], legacy_cb: Optional[CreateCallback]
+    ) -> FuseGroup:
         member_ids = [self.host.node_id] + [
             m for m in dict.fromkeys(members) if m != self.host.node_id
         ]
         fuse_id = make_fuse_id(self.host.name, serial=next(self._fuse_id_serial))
         group = AltGroup(fuse_id, self.host.node_id, member_ids, self.sim.now)
         self.groups[fuse_id] = group
+        handle = FuseGroup(self, self.ledger, fuse_id, self.host.node_id, member_ids)
+        self.ledger.record_create(fuse_id, self.host.node_id, member_ids)
+        self.ledger.attach_handle(handle)
+        done = ledger_completion(self.ledger, fuse_id, legacy_cb)
         self._ensure_pinging()
         others = [m for m in member_ids if m != self.host.node_id]
         awaiting = set(others)
@@ -181,11 +216,11 @@ class CentralServerFuse:
 
         def finish() -> None:
             self.host.send(self.server_id, CsRegister(fuse_id, member_ids))
-            on_complete(fuse_id, "ok")
+            done(fuse_id, "ok")
 
         if not others:
             self.sim.schedule_soon(finish)
-            return fuse_id
+            return handle
 
         def on_reply(member: NodeId):
             def inner(_reply) -> None:
@@ -205,7 +240,7 @@ class CentralServerFuse:
                 for peer in others:
                     self.host.send(peer, AltNotify(fuse_id, "create-failed"))
                 self._fail_group(group, f"create-failed: {member} {why}")
-                on_complete(None, f"member {member} unreachable ({why})")
+                done(None, f"member {member} unreachable ({why})")
 
             return inner
 
@@ -217,7 +252,7 @@ class CentralServerFuse:
                 on_reply(member),
                 on_failure(member),
             )
-        return fuse_id
+        return handle
 
     def register_failure_handler(self, fuse_id: FuseId, handler: FailureHandler) -> None:
         group = self.groups.get(fuse_id)
@@ -302,6 +337,8 @@ class CentralServerFuse:
         self.sim.metrics.counter("altfuse.hard_notifications").increment()
         if group.handler is not None:
             group.handler(group.fuse_id)
+        role = "root" if group.root == self.host.node_id else "member"
+        self.ledger.notified(group.fuse_id, self.host.node_id, role, reason)
 
     def _on_crash(self) -> None:
         self.groups.clear()

@@ -12,13 +12,16 @@ network failures come from.  The fault model matches §3.5 of the paper:
   group boundaries only if explicitly allowed;
 * **intransitive connectivity failure** — a specific pair cannot talk
   even though both can reach third parties (§2, §3.4);
+* **asymmetric (one-way) failure** — packets from A to B vanish while
+  B to A flows normally, the nastiest case of §3.5's "arbitrary network
+  failures" (a misconfigured firewall, a half-broken NAT);
 * per-link packet loss lives on the topology itself
   (:meth:`repro.net.topology.Topology.set_uniform_loss`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.net.address import NodeId
 
@@ -30,6 +33,10 @@ class FaultInjector:
         self._crashed: Set[NodeId] = set()
         self._disconnected: Set[NodeId] = set()
         self._blocked_pairs: Set[FrozenSet[NodeId]] = set()
+        self._blocked_one_way: Set[Tuple[NodeId, NodeId]] = set()
+        #: one-way cuts as (src side, dst side) set pairs — O(sides) to
+        #: install at any world size, unlike enumerating |A|x|B| pairs.
+        self._one_way_cuts: List[Tuple[FrozenSet[NodeId], FrozenSet[NodeId]]] = []
         self._partition_of: Dict[NodeId, int] = {}
 
     # ------------------------------------------------------------------
@@ -75,6 +82,50 @@ class FaultInjector:
         self._blocked_pairs.discard(frozenset((a, b)))
 
     # ------------------------------------------------------------------
+    # Asymmetric (one-way) failures
+    # ------------------------------------------------------------------
+    def block_one_way(self, src: NodeId, dst: NodeId) -> None:
+        """Drop packets from ``src`` to ``dst``; ``dst`` to ``src`` still
+        flows.  The asymmetric half of an intransitive failure (§3.5)."""
+        if src == dst:
+            raise ValueError("cannot block a node from itself")
+        self._blocked_one_way.add((src, dst))
+
+    def unblock_one_way(self, src: NodeId, dst: NodeId) -> None:
+        self._blocked_one_way.discard((src, dst))
+
+    def block_one_way_sets(self, srcs: Iterable[NodeId], dsts: Iterable[NodeId]) -> None:
+        """Drop every packet from any node in ``srcs`` to any node in
+        ``dsts``.  Stored as one (side, side) cut — O(|A|+|B|) memory —
+        so a one-way partition scales to paper-size worlds instead of
+        enumerating |A|x|B| pairs."""
+        cut = (frozenset(srcs), frozenset(dsts))
+        if cut[0] & cut[1]:
+            raise ValueError("one-way cut sides overlap")
+        self._one_way_cuts.append(cut)
+
+    def unblock_one_way_sets(self, srcs: Iterable[NodeId], dsts: Iterable[NodeId]) -> None:
+        cut = (frozenset(srcs), frozenset(dsts))
+        self._one_way_cuts = [c for c in self._one_way_cuts if c != cut]
+
+    def is_one_way_blocked(self, src: NodeId, dst: NodeId) -> bool:
+        if (src, dst) in self._blocked_one_way:
+            return True
+        return any(src in srcs and dst in dsts for srcs, dsts in self._one_way_cuts)
+
+    def has_link_faults(self) -> bool:
+        """Any path-level fault (pair, one-way, partition) installed?
+        Used by the notification ledger: with no path faults and no
+        crashed/disconnected member, a detection-driven notification is a
+        loss-induced false positive (Fig 12)."""
+        return bool(
+            self._blocked_pairs
+            or self._blocked_one_way
+            or self._one_way_cuts
+            or self._partition_of
+        )
+
+    # ------------------------------------------------------------------
     # Partitions
     # ------------------------------------------------------------------
     def partition(self, groups: Iterable[Iterable[NodeId]]) -> None:
@@ -105,6 +156,12 @@ class FaultInjector:
             return False
         if frozenset((a, b)) in self._blocked_pairs:
             return False
+        if (a, b) in self._blocked_one_way:
+            return False
+        if self._one_way_cuts and any(
+            a in srcs and b in dsts for srcs, dsts in self._one_way_cuts
+        ):
+            return False
         pa = self._partition_of.get(a)
         pb = self._partition_of.get(b)
         if pa is not None and pb is not None and pa != pb:
@@ -116,6 +173,8 @@ class FaultInjector:
         self._crashed.clear()
         self._disconnected.clear()
         self._blocked_pairs.clear()
+        self._blocked_one_way.clear()
+        self._one_way_cuts.clear()
         self._partition_of.clear()
 
     def __repr__(self) -> str:
@@ -123,5 +182,7 @@ class FaultInjector:
             f"FaultInjector(crashed={sorted(self._crashed)}, "
             f"disconnected={sorted(self._disconnected)}, "
             f"blocked_pairs={len(self._blocked_pairs)}, "
+            f"blocked_one_way={len(self._blocked_one_way)}, "
+            f"one_way_cuts={len(self._one_way_cuts)}, "
             f"partitioned={len(self._partition_of)})"
         )

@@ -22,6 +22,12 @@ Full DSL reference: ``docs/SCENARIOS.md``.
 """
 
 from repro.scenarios.builtin import BUILTIN, catalogue, fig9_scenario, fig10_scenario
+from repro.scenarios.expect import (
+    ExpectError,
+    Expectation,
+    evaluate_expectations,
+    parse_expect,
+)
 from repro.scenarios.runner import (
     ScenarioResult,
     apply_overrides,
@@ -37,10 +43,13 @@ from repro.scenarios.timeline import (
     ScenarioContext,
     Track,
     execute,
+    execute_with_context,
 )
 
 __all__ = [
     "BUILTIN",
+    "ExpectError",
+    "Expectation",
     "MINUTE_MS",
     "Phase",
     "Scenario",
@@ -50,10 +59,13 @@ __all__ = [
     "Track",
     "apply_overrides",
     "catalogue",
+    "evaluate_expectations",
     "execute",
+    "execute_with_context",
     "fig10_scenario",
     "fig9_scenario",
     "load",
+    "parse_expect",
     "run_scenario",
     "run_scenario_sweep",
     "scenario_from_dict",

@@ -1,0 +1,178 @@
+"""Scenario-level assertions: the ``[expect]`` block.
+
+A scenario spec may declare expected outcomes; ``python -m
+repro.scenarios.run`` then doubles as a property checker — it evaluates
+every trial's measurements against the declarations and exits non-zero
+on any violation (the ROADMAP's "scenario-level assertions" item, and
+the checkable form of the paper's §3 one-way agreement guarantee)::
+
+    [expect]
+    spurious_groups = 0              # number -> exact equality
+    delivered = "== expected"        # string -> "<op> <operand>"
+    notify_p95_ms = "< 120000"       # operand: number or another metric
+
+Operators: ``==  !=  <  <=  >  >=``.  The operand may be a literal
+number or the name of another metric (``delivered == expected``).
+Metrics resolve against the trial's flat measurement dict
+(:func:`repro.scenarios.timeline.execute`) plus derived conveniences:
+
+* ``delivered`` / ``expected`` — aliases for
+  ``notifications_delivered`` / ``notifications_expected``;
+* ``notify_p50_ms`` / ``notify_p95_ms`` / ``notify_max_ms`` — percentiles
+  of the per-member notification latencies (``latency_min`` converted to
+  ms; 0.0 when no notification was delivered).
+
+Everything here is read-only post-processing of the measurements the
+ledger-backed aggregation produced — evaluation can never perturb a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple, Union
+
+from repro.sim.metrics import percentile
+
+MINUTE_MS = 60_000.0
+
+_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class ExpectError(ValueError):
+    """An [expect] declaration failed to parse."""
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One declared outcome: ``metric <op> operand``."""
+
+    metric: str
+    op: str
+    operand: Union[int, float, str]  # literal, or another metric's name
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ExpectError(
+                f"bad [expect] operator {self.op!r} (want one of {sorted(_OPS)})"
+            )
+
+    def evaluate(
+        self,
+        measurements: Mapping[str, Any],
+        values: "Dict[str, Any] | None" = None,
+    ) -> "ExpectOutcome":
+        """Evaluate against one trial.  ``values`` is the precomputed
+        :func:`derived_metrics` view — pass it when evaluating several
+        expectations over the same trial to avoid recomputing it."""
+        if values is None:
+            values = derived_metrics(measurements)
+        actual = values.get(self.metric)
+        if actual is None:
+            return ExpectOutcome(self, None, None, f"metric {self.metric!r} not reported")
+        if isinstance(self.operand, str):
+            bound = values.get(self.operand)
+            if bound is None:
+                return ExpectOutcome(
+                    self, actual, None, f"operand metric {self.operand!r} not reported"
+                )
+        else:
+            bound = self.operand
+        if _OPS[self.op](actual, bound):
+            return ExpectOutcome(self, actual, bound, None)
+        return ExpectOutcome(
+            self,
+            actual,
+            bound,
+            f"{self.metric} {self.op} {self.operand} violated: "
+            f"{actual!r} vs {bound!r}",
+        )
+
+    def __str__(self) -> str:
+        return f"{self.metric} {self.op} {self.operand}"
+
+
+@dataclass(frozen=True)
+class ExpectOutcome:
+    """The result of evaluating one expectation against one trial."""
+
+    expectation: Expectation
+    actual: Any
+    bound: Any
+    violation: "str | None"  # None => satisfied
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+def derived_metrics(measurements: Mapping[str, Any]) -> Dict[str, Any]:
+    """The measurement dict plus the aliases/percentiles specs may name."""
+    values: Dict[str, Any] = dict(measurements)
+    values.setdefault("delivered", measurements.get("notifications_delivered"))
+    values.setdefault("expected", measurements.get("notifications_expected"))
+    latencies = measurements.get("latency_min") or []
+    latencies_ms = sorted(v * MINUTE_MS for v in latencies)
+    values.setdefault(
+        "notify_p50_ms", percentile(latencies_ms, 50) if latencies_ms else 0.0
+    )
+    values.setdefault(
+        "notify_p95_ms", percentile(latencies_ms, 95) if latencies_ms else 0.0
+    )
+    values.setdefault("notify_max_ms", latencies_ms[-1] if latencies_ms else 0.0)
+    return values
+
+
+def _parse_operand(token: str) -> Union[int, float, str]:
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token  # another metric's name
+
+
+def parse_expect(table: Mapping[str, Any]) -> Tuple[Expectation, ...]:
+    """Build expectations from a spec's ``[expect]`` table.
+
+    Values: a number means exact equality; a string must read
+    ``"<op> <operand>"``.
+    """
+    out: List[Expectation] = []
+    for metric, value in table.items():
+        if isinstance(value, bool):
+            raise ExpectError(
+                f"[expect] {metric}: booleans are not supported; compare "
+                "against 0/1 explicitly"
+            )
+        if isinstance(value, (int, float)):
+            out.append(Expectation(metric, "==", value))
+            continue
+        if isinstance(value, str):
+            parts = value.split(None, 1)
+            if len(parts) != 2:
+                raise ExpectError(
+                    f"[expect] {metric}: want '<op> <operand>', got {value!r}"
+                )
+            op, operand = parts
+            out.append(Expectation(metric, op, _parse_operand(operand.strip())))
+            continue
+        raise ExpectError(
+            f"[expect] {metric}: unsupported value {value!r} "
+            "(want a number or '<op> <operand>')"
+        )
+    return tuple(out)
+
+
+def evaluate_expectations(
+    expectations: Tuple[Expectation, ...], measurements: Mapping[str, Any]
+) -> List[ExpectOutcome]:
+    """Evaluate all declarations against one trial's measurements."""
+    values = derived_metrics(measurements)
+    return [e.evaluate(measurements, values) for e in expectations]

@@ -26,6 +26,11 @@ nothing accumulates in memory)::
     python -m repro.scenarios.run steady --grid n_nodes=400,2000 \\
         --grid tracks.0.n_groups=12,48 --jobs 4 --out sweep.jsonl
 
+**Property checking**: a scenario's ``[expect]`` declarations (built-ins
+all have them; specs via the ``[expect]`` table) are evaluated against
+every trial's measurements and any violation makes the run exit
+non-zero — skip with ``--no-expect``.  Reference: ``docs/API.md``.
+
 The full DSL reference lives in ``docs/SCENARIOS.md``; the scaling model
 behind large sweeps lives in ``docs/PERFORMANCE.md``.
 """
@@ -40,6 +45,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.scenarios.builtin import BUILTIN, catalogue
+from repro.scenarios.expect import evaluate_expectations
 from repro.scenarios.runner import apply_overrides, run_scenario, run_scenario_sweep
 from repro.scenarios.spec import SpecError, load
 from repro.scenarios.timeline import Scenario
@@ -113,6 +119,34 @@ def _list_text() -> str:
     return "\n".join(lines)
 
 
+def _check_expectations(scenario: Scenario, trial, args, violations: List[str]) -> None:
+    """Evaluate the scenario's [expect] block against one trial."""
+    if args.no_expect or not scenario.expect:
+        return
+    label = f"seed={trial.spec.base_seed}"
+    if trial.spec.params:
+        label += f" params={dict(trial.spec.params)}"
+    for outcome in evaluate_expectations(scenario.expect, trial.measurements):
+        if not outcome.ok:
+            violations.append(f"{label}: {outcome.violation}")
+
+
+def _report_expectations(scenario: Scenario, violations: List[str], args) -> int:
+    """Print the property-check verdict; non-zero exit on violation."""
+    if args.no_expect or not scenario.expect:
+        return 0
+    # With --json, stdout carries only the machine-readable results.
+    stream = sys.stderr if args.json else sys.stdout
+    declared = ", ".join(str(e) for e in scenario.expect)
+    if not violations:
+        print(f"[expect] PASS: {declared}", file=stream)
+        return 0
+    print(f"[expect] FAIL ({len(violations)} violation(s)): {declared}", file=stream)
+    for line in violations:
+        print(f"[expect]   {line}", file=stream)
+    return 1
+
+
 def _run_sweep(scenario: Scenario, args) -> int:
     """Sharded sweep: stream one JSON line per completed shard to --out.
 
@@ -132,10 +166,12 @@ def _run_sweep(scenario: Scenario, args) -> int:
     out_file = out_path.open("w") if out_path is not None else None
 
     totals = {"trials": 0, "notifications_delivered": 0.0, "spurious_groups": 0.0}
+    violations: List[str] = []
     started = time.time()
 
     def sink(trial) -> None:
         totals["trials"] += 1
+        _check_expectations(scenario, trial, args, violations)
         m = trial.measurements
         totals["notifications_delivered"] += m.get("notifications_delivered", 0)
         totals["spurious_groups"] += m.get("spurious_groups", 0)
@@ -176,7 +212,7 @@ def _run_sweep(scenario: Scenario, args) -> int:
         # With --json, stdout carries only the shard JSON lines.
         file=sys.stderr if args.json else sys.stdout,
     )
-    return 0
+    return _report_expectations(scenario, violations, args)
 
 
 def main(argv=None) -> int:
@@ -228,6 +264,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", metavar="PATH", help="also write the output to PATH"
     )
+    parser.add_argument(
+        "--no-expect",
+        action="store_true",
+        help="skip the scenario's [expect] assertions (normally any "
+        "violation makes the run exit non-zero)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -268,7 +310,11 @@ def main(argv=None) -> int:
             out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(rendered + "\n")
     print(rendered)
-    return 0
+
+    violations: List[str] = []
+    for trial in result.result_set:
+        _check_expectations(scenario, trial, args, violations)
+    return _report_expectations(scenario, violations, args)
 
 
 if __name__ == "__main__":

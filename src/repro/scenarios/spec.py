@@ -30,10 +30,15 @@ module.  The schema (full reference in ``docs/SCENARIOS.md``)::
     fractions = [0.6, 0.4]
     heal_after_minutes = 3.0
 
+    [expect]                       # optional: scenarios.run exits non-zero
+    spurious_groups = 0            # on any violation (repro.scenarios.expect)
+    delivered = "== expected"
+
 The same structure as JSON (``{"scenario": {...}, "phase": [...],
-"track": [...]}``) loads identically.  Every track field maps 1:1 onto
-the dataclass fields in :mod:`repro.scenarios.tracks`; unknown kinds and
-unknown fields are hard errors so specs fail loudly, not silently.
+"track": [...], "expect": {...}}``) loads identically.  Every track
+field maps 1:1 onto the dataclass fields in
+:mod:`repro.scenarios.tracks`; unknown kinds and unknown fields are hard
+errors so specs fail loudly, not silently.
 """
 
 from __future__ import annotations
@@ -43,8 +48,10 @@ import json
 import pathlib
 from typing import Any, Dict, Mapping, Type, Union
 
+from repro.scenarios.expect import ExpectError, parse_expect
 from repro.scenarios.timeline import Phase, Scenario, Track
 from repro.scenarios.tracks import (
+    AsymmetricPartition,
     CrashRecoverWave,
     DisconnectWave,
     GroupWorkload,
@@ -65,6 +72,7 @@ TRACK_KINDS: Dict[str, Type[Track]] = {
     "disconnect-wave": DisconnectWave,
     "rolling-disconnect": RollingDisconnect,
     "partition": Partition,
+    "asymmetric-partition": AsymmetricPartition,
     "intransitive-pairs": IntransitivePairs,
     "link-loss": LinkLossRamp,
 }
@@ -120,7 +128,14 @@ def scenario_from_dict(spec: Mapping[str, Any]) -> Scenario:
     except TypeError as exc:
         raise SpecError(f"bad phase entry: {exc}") from exc
     tracks = tuple(_build_track(t) for t in spec.get("track") or ())
-    unknown_top = set(spec) - {"scenario", "phase", "track"}
+    expect_table = spec.get("expect") or {}
+    if not isinstance(expect_table, Mapping):
+        raise SpecError("[expect] must be a table of metric = assertion entries")
+    try:
+        expectations = parse_expect(expect_table)
+    except ExpectError as exc:
+        raise SpecError(str(exc)) from exc
+    unknown_top = set(spec) - {"scenario", "phase", "track", "expect"}
     if unknown_top:
         raise SpecError(f"spec has unknown top-level table(s) {sorted(unknown_top)}")
     try:
@@ -131,6 +146,7 @@ def scenario_from_dict(spec: Mapping[str, Any]) -> Scenario:
             description=str(header.get("description", "")),
             phases=phase_objs,
             tracks=tracks,
+            expect=expectations,
         )
     except ValueError as exc:
         raise SpecError(str(exc)) from exc

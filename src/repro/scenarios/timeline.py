@@ -49,6 +49,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.trial import Measurements
 from repro.net.address import NodeId
+from repro.scenarios.expect import Expectation
 from repro.world import FuseWorld
 
 MINUTE_MS = 60_000.0
@@ -107,6 +108,9 @@ class Scenario:
     tracks: Tuple[Track, ...] = ()
     seed: int = 0
     description: str = ""
+    #: declared outcomes evaluated per trial by the runner (the spec's
+    #: ``[expect]`` block — see :mod:`repro.scenarios.expect`)
+    expect: Tuple[Expectation, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
@@ -147,6 +151,10 @@ class ScenarioContext:
         #: fuse_id -> (root, [root] + members)
         self.groups: Dict[str, Tuple[NodeId, List[NodeId]]] = {}
         self.groups_failed = 0
+        #: fuse_id -> nodes whose notifications count for delivery
+        #: accounting (filled by workload tracks; resolved against the
+        #: world ledger after the run)
+        self.observed: Dict[str, Set[NodeId]] = {}
         #: (fuse_id, node) -> virtual ms of the node's *first* notification
         self.notification_times: Dict[Tuple[str, NodeId], float] = {}
         #: node -> virtual ms of the node's first injected fault
@@ -161,10 +169,10 @@ class ScenarioContext:
         #: extra scalar measurements tracks report (merged into the
         #: final dict; must be JSON-serializable)
         self.extra: Dict[str, Any] = {}
-        #: per-run scratch space keyed by ``id(track)``.  Tracks are
-        #: shared across serial seed replicas, so per-run mutable state
-        #: must live here, never on the track instance.
-        self.scratch: Dict[int, Any] = {}
+        #: per-run scratch space, typically keyed by ``id(track)``.
+        #: Tracks are shared across serial seed replicas, so per-run
+        #: mutable state must live here, never on the track instance.
+        self.scratch: Dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # Facilities for tracks
@@ -176,9 +184,34 @@ class ScenarioContext:
     def register_group(self, fuse_id: str, root: NodeId, members: Sequence[NodeId]) -> None:
         self.groups[fuse_id] = (root, list(members))
 
+    def observe_group(self, fuse_id: str, nodes: Sequence[NodeId]) -> None:
+        """Count these nodes' notifications for ``fuse_id`` as deliveries.
+
+        The actual times are read from the world's
+        :class:`~repro.fuse.api.GroupLedger` after the run — tracks no
+        longer attach per-(group, member) observers.
+        """
+        self.observed.setdefault(fuse_id, set()).update(nodes)
+
     def record_notification(self, fuse_id: str, node: NodeId) -> None:
-        """Record ``node``'s first notification for ``fuse_id``."""
+        """Record ``node``'s first notification for ``fuse_id`` directly
+        (custom tracks only; the ledger pass uses setdefault too, so
+        manual records merge cleanly)."""
         self.notification_times.setdefault((fuse_id, node), self.sim.now)
+
+    def resolve_notifications(self) -> None:
+        """Fill :attr:`notification_times` from the world ledger.
+
+        Scanned in ledger append order — chronological — so downstream
+        latency lists keep the exact ordering the old per-node observers
+        produced."""
+        observed = self.observed
+        if not observed:
+            return
+        for rec in self.world.ledger.notes:
+            nodes = observed.get(rec.fuse_id)
+            if nodes is not None and rec.node in nodes:
+                self.notification_times.setdefault((rec.fuse_id, rec.node), rec.when)
 
     def note_fault(self, node: NodeId, observable: bool = True) -> None:
         """Record that a fault track hit ``node`` now.
@@ -203,12 +236,22 @@ def execute(scenario: Scenario, seed: Optional[int] = None) -> Measurements:
     yields the same measurements, which is what lets the runner fan seed
     replicas across processes (:mod:`repro.scenarios.runner`).
     """
+    return execute_with_context(scenario, seed)[0]
+
+
+def execute_with_context(
+    scenario: Scenario, seed: Optional[int] = None
+) -> Tuple[Measurements, ScenarioContext]:
+    """:func:`execute`, additionally returning the run's context (world,
+    ledger, raw records) for property checks that need more than the flat
+    measurements — the scenario fuzzer and ledger-level assertions."""
     world = FuseWorld(
         n_nodes=scenario.n_nodes,
         seed=scenario.seed if seed is None else seed,
     )
     world.bootstrap()
     ctx = ScenarioContext(world, scenario)
+    world.ledger.set_phase("setup")
     for track in scenario.tracks:
         track.setup(ctx)
 
@@ -225,6 +268,7 @@ def execute(scenario: Scenario, seed: Optional[int] = None) -> Measurements:
     measured_ms = 0.0
     phase_rates: Dict[str, float] = {}
     for phase in scenario.phases:
+        world.ledger.set_phase(phase.name)
         for track in scenario.tracks:
             track.on_phase_start(ctx, phase)
         if phase.measure:
@@ -240,6 +284,7 @@ def execute(scenario: Scenario, seed: Optional[int] = None) -> Measurements:
         for track in scenario.tracks:
             track.on_phase_end(ctx, phase)
 
+    ctx.resolve_notifications()
     out = _aggregate(ctx, measured_msgs, measured_ms)
     # Per-phase measurement windows: a per-phase message rate for every
     # phase, and per-phase first-notification counts (observable nodes),
@@ -268,7 +313,7 @@ def execute(scenario: Scenario, seed: Optional[int] = None) -> Measurements:
             )
         out[f"notifications[{phase.name}]"] = count
     out.update(ctx.extra)
-    return out
+    return out, ctx
 
 
 def _group_fault_time(ctx: ScenarioContext, fuse_id: str, members: Sequence[NodeId]) -> Optional[float]:

@@ -10,9 +10,10 @@ primitive:
   :class:`DisconnectWave` (Fig 9's disconnected machine, optionally a
   contiguous "rack"), :class:`RollingDisconnect`, :class:`Partition`
   (partition-and-heal via :meth:`FaultInjector.partition`),
-  :class:`IntransitivePairs` (§2/§3.4 pairwise failures with fail-on-send
-  signalling), :class:`LinkLossRamp` (time-varying per-link loss, the
-  Fig 11/12 knob);
+  :class:`AsymmetricPartition` (one-way A→B blocking via
+  :meth:`FaultInjector.block_one_way`), :class:`IntransitivePairs`
+  (§2/§3.4 pairwise failures with fail-on-send signalling),
+  :class:`LinkLossRamp` (time-varying per-link loss, the Fig 11/12 knob);
 * **workloads** — :class:`GroupWorkload` (FUSE group creation, either
   up-front or at a rate), :class:`SvtreeTraffic` (§4 SV-tree
   subscribe/publish application load).
@@ -32,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.fuse.api import GroupStatus
 from repro.net.address import NodeId
 from repro.scenarios.timeline import MINUTE_MS, Phase, ScenarioContext, Track
 
@@ -99,20 +101,14 @@ class GroupWorkload(Track):
                 raise ValueError(f"rate_per_minute must be positive: {self.rate_per_minute}")
 
     def _register(self, ctx: ScenarioContext, fuse_id, root, members) -> None:
-        ctx.register_group(fuse_id, root, [root] + list(members))
+        everyone = [root] + list(members)
+        ctx.register_group(fuse_id, root, everyone)
+        # Delivery accounting reads the world ledger after the run; the
+        # observe mode only selects whose rows count (Fig 9 vs Fig 10).
         if self.observe == "root":
-            ctx.world.fuse(root).observe_notifications(
-                lambda f, reason, fid=fuse_id, n=root: ctx.record_notification(fid, n)
-                if f == fid
-                else None
-            )
+            ctx.observe_group(fuse_id, [root])
         elif self.observe == "members":
-            for node in [root] + list(members):
-                ctx.world.fuse(node).observe_notifications(
-                    lambda f, reason, fid=fuse_id, n=node: ctx.record_notification(fid, n)
-                    if f == fid
-                    else None
-                )
+            ctx.observe_group(fuse_id, everyone)
 
     def setup(self, ctx: ScenarioContext) -> None:
         if self.rate_per_minute is not None:
@@ -139,13 +135,14 @@ class GroupWorkload(Track):
         def create_one() -> None:
             root, *members = rng.sample(pool, self.group_size)
 
-            def done(fuse_id, status, root=root, members=members) -> None:
-                if status == "ok":
-                    self._register(ctx, fuse_id, root, members)
-                else:
+            def live(g, root=root, members=members) -> None:
+                self._register(ctx, g.fuse_id, root, members)
+
+            def failed(g, _reason) -> None:
+                if g.status is GroupStatus.FAILED_CREATE:
                     ctx.groups_failed += 1
 
-            world.fuse(root).create_group(members, done)
+            world.fuse(root).create_group(members).on_live(live).on_notified(failed)
 
         for k in range(self.n_groups):
             when = ctx.phase_start_ms[phase.name] + k * spacing_ms
@@ -467,6 +464,78 @@ class Partition(Track):
     def on_phase_end(self, ctx: ScenarioContext, phase: Phase) -> None:
         if phase.name == self.phase and self.heal_after_minutes is None:
             ctx.world.net.faults.heal_partition()
+
+
+@dataclass
+class AsymmetricPartition(Track):
+    """A one-way partition: side A's packets to side B vanish, B→A flows.
+
+    The transport was historically symmetric; this track exercises the
+    asymmetric half of §3.5's "arbitrary network failures" (a
+    misconfigured firewall).  The node list is cut contiguously at
+    ``fraction``; at the start of ``phase`` every (A→B) direction is
+    blocked via :meth:`FaultInjector.block_one_way`.  Both sides still
+    *detect*: B times out A's silent pings, and A never sees B's acks —
+    so groups spanning the cut are declared doomed and the one-way
+    agreement guarantee must notify every observable member.
+
+    Per-member deliveries on spanning groups are counted through the
+    group handles' ``on_member_notified`` subscription and reported as
+    ``asym_member_notifications`` (alongside ``asym_spanning_groups``).
+    Healing happens ``heal_after_minutes`` into the phase, or at phase
+    end when unset.
+    """
+
+    phase: str
+    fraction: float = 0.5
+    heal_after_minutes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1): {self.fraction}")
+
+    def _heal(self, ctx: ScenarioContext) -> None:
+        sides = ctx.scratch.pop(("asym", id(self)), None)
+        if sides is not None:
+            ctx.world.net.faults.unblock_one_way_sets(*sides)
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        world = ctx.world
+        cut = int(round(self.fraction * len(world.node_ids)))
+        cut = min(max(cut, 1), len(world.node_ids) - 1)
+        side_a, side_b = world.node_ids[:cut], world.node_ids[cut:]
+        # One (side, side) cut, not |A|x|B| enumerated pairs: O(n) at any
+        # world size.
+        world.net.faults.block_one_way_sets(side_a, side_b)
+        ctx.scratch[("asym", id(self))] = (side_a, side_b)
+        ctx.extra.setdefault("asym_member_notifications", 0)
+
+        def count_delivery(_group, _node, _reason) -> None:
+            ctx.extra["asym_member_notifications"] += 1
+
+        b_side = set(side_b)
+        spanning = 0
+        for fuse_id, (_root, members) in ctx.groups.items():
+            if world.ledger.status_of(fuse_id) is GroupStatus.NOTIFIED:
+                continue  # already failed before the cut: not doomed by it
+            sides = {m in b_side for m in members}
+            if len(sides) > 1:
+                ctx.expect_group_failure(fuse_id)
+                spanning += 1
+                handle = world.ledger.handle(fuse_id)
+                if handle is not None:
+                    handle.on_member_notified(count_delivery)
+        ctx.extra["asym_spanning_groups"] = spanning
+        if self.heal_after_minutes is not None:
+            world.sim.call_after(
+                self.heal_after_minutes * MINUTE_MS, lambda: self._heal(ctx)
+            )
+
+    def on_phase_end(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name == self.phase and self.heal_after_minutes is None:
+            self._heal(ctx)
 
 
 @dataclass

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.fuse.api import FuseGroup, GroupLedger, GroupStatus
 from repro.fuse.config import FuseConfig
 from repro.fuse.ids import FuseId
 from repro.fuse.service import FuseService
@@ -55,6 +56,11 @@ class FuseWorld:
         self.net = Network(self.sim, topo, config=transport)
         self.overlay = SkipNetOverlay(self.sim, self.net, overlay_config)
         self.fuse_config = fuse_config or FuseConfig()
+        # The world-wide notification ledger: every FuseService records
+        # group creations and per-member notifications here, making it
+        # the single source of truth for agreement / false-positive /
+        # latency accounting (see repro.fuse.api and docs/API.md).
+        self.ledger = GroupLedger(self.sim, self.net.faults)
 
         self.node_ids: List[NodeId] = host_ids[:n_nodes]
         self.hosts: Dict[NodeId, Host] = {}
@@ -65,7 +71,9 @@ class FuseWorld:
             overlay_node = self.overlay.create_node(host)
             self.hosts[node_id] = host
             self.overlay_nodes[node_id] = overlay_node
-            self.fuse_services[node_id] = FuseService(overlay_node, self.fuse_config)
+            self.fuse_services[node_id] = FuseService(
+                overlay_node, self.fuse_config, ledger=self.ledger
+            )
 
     # ------------------------------------------------------------------
     # Bootstrap and clock control
@@ -146,8 +154,14 @@ class FuseWorld:
         return [nid for nid in self.node_ids if self.hosts[nid].alive]
 
     # ------------------------------------------------------------------
-    # Synchronous conveniences (drive the simulator until a callback)
+    # Group creation conveniences
     # ------------------------------------------------------------------
+    def create_group(self, root: NodeId, members: Sequence[NodeId]) -> FuseGroup:
+        """Start creating a group rooted at ``root`` and return its
+        handle (asynchronous — drive the simulator to complete it, or use
+        :meth:`create_group_sync`)."""
+        return self.fuse(root).create_group(members)
+
     def create_group_sync(
         self,
         root: NodeId,
@@ -156,17 +170,26 @@ class FuseWorld:
     ) -> Tuple[Optional[FuseId], str, float]:
         """Create a group and run the simulator until creation completes.
 
+        Thin shim over :meth:`create_group`: subscribes the handle's
+        lifecycle callbacks and steps the simulator until one fires.
         Returns (fuse_id or None, status string, creation latency in ms).
         """
         outcome: Dict[str, object] = {}
         started = self.sim.now
 
-        def on_complete(fuse_id: Optional[FuseId], status: str) -> None:
-            outcome["fuse_id"] = fuse_id
-            outcome["status"] = status
+        def live(group: FuseGroup) -> None:
+            outcome["fuse_id"] = group.fuse_id
+            outcome["status"] = "ok"
             outcome["latency"] = self.sim.now - started
 
-        self.fuse(root).create_group(members, on_complete)
+        def notified(group: FuseGroup, _reason) -> None:
+            if group.status is not GroupStatus.FAILED_CREATE or "status" in outcome:
+                return
+            outcome["fuse_id"] = None
+            outcome["status"] = group.create_failure_reason or "create-failed"
+            outcome["latency"] = self.sim.now - started
+
+        self.create_group(root, members).on_live(live).on_notified(notified)
         deadline = started + max_wait_ms
         while "status" not in outcome and self.sim.now < deadline:
             if not self.sim.step():

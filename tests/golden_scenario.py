@@ -17,7 +17,7 @@ deliberate behavior change is being made, and say so in the commit.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List
+from typing import Dict
 
 from repro.world import FuseWorld
 
@@ -27,14 +27,6 @@ GOLDEN_SEED = 1234
 def run_golden_scenario(seed: int = GOLDEN_SEED) -> Dict:
     world = FuseWorld(n_nodes=30, seed=seed, trace=True)
     world.bootstrap()
-
-    notifications: List[tuple] = []
-    for node_id in world.node_ids:
-        world.fuse(node_id).observe_notifications(
-            lambda fid, reason, n=node_id: notifications.append(
-                (world.sim.now, n, fid, reason)
-            )
-        )
 
     rng = world.sim.rng.stream("golden-workload")
     groups = []
@@ -70,7 +62,12 @@ def run_golden_scenario(seed: int = GOLDEN_SEED) -> Dict:
             for name, counter in sorted(world.sim.metrics.counters().items())
         },
         "group_status": [status for _fid, status in groups],
+        # Every node's notifications (delegates included), read from the
+        # world ledger — the replacement for the old per-node observers.
         "notifications": [
-            [t, int(node), fid, reason] for t, node, fid, reason in sorted(notifications)
+            [rec.when, int(rec.node), rec.fuse_id, rec.raw]
+            for rec in sorted(
+                world.ledger.notes, key=lambda r: (r.when, r.node, r.fuse_id, r.raw)
+            )
         ],
     }

@@ -1,0 +1,186 @@
+"""Generate the API-refactor identity fixtures.
+
+The PR that introduced the first-class group API (``repro.fuse.api``) had
+to prove that rewiring every consumer — apps, experiments, scenario
+tracks — onto group handles and the world ledger changed **no** observable
+output.  This script ran against the pre-refactor tree and committed its
+output under ``tests/data/api_refactor/``; ``tests/test_api_identity.py``
+re-runs the same workloads against the current tree and requires
+byte-identical JSON.
+
+The workloads are deliberately small (seconds each, tier-1 friendly) but
+cover every figure experiment and all built-in scenarios at ``--quick``
+shape.  Regenerate only on a *deliberate* behavior change, and say so in
+the commit::
+
+    PYTHONPATH=src python tests/make_api_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "data" / "api_refactor"
+
+
+def _fig6():
+    from repro.experiments import calibration
+
+    return calibration.run(calibration.CalibrationConfig(n_hosts=40, n_pairs=60))
+
+
+def _fig7():
+    from repro.experiments import creation_latency
+
+    return creation_latency.run(
+        creation_latency.CreationConfig(n_nodes=30, group_sizes=(2, 4), groups_per_size=3)
+    )
+
+
+def _fig8():
+    from repro.experiments import notification_latency
+
+    return notification_latency.run(
+        notification_latency.NotificationConfig(
+            n_nodes=30, group_sizes=(2, 4), groups_per_size=3
+        )
+    )
+
+
+def _fig9():
+    from repro.experiments import crash_notification
+
+    return crash_notification.run(
+        crash_notification.CrashConfig(
+            n_nodes=20, n_groups=6, n_disconnected=2, observe_minutes=6.0
+        )
+    )
+
+
+def _fig10():
+    from repro.experiments import churn
+
+    return churn.run(
+        churn.ChurnConfig(
+            n_stable=10, n_churning=10, n_groups=3, group_size=4, window_minutes=3.0
+        )
+    )
+
+
+def _fig11():
+    from repro.experiments import loss_rates
+
+    return loss_rates.run(
+        loss_rates.LossRatesConfig(n_hosts=40, n_pairs=60, per_link_loss=(0.004, 0.016))
+    )
+
+
+def _fig12():
+    from repro.experiments import false_positives
+
+    return false_positives.run(
+        false_positives.FalsePositivesConfig(
+            n_nodes=24,
+            group_sizes=(2, 4),
+            groups_per_size=2,
+            per_link_loss=(0.0, 0.016),
+            run_minutes=6.0,
+        )
+    )
+
+
+def _agreement():
+    from repro.experiments import agreement
+
+    return agreement.run(
+        agreement.AgreementConfig(
+            n_nodes=30, n_groups=6, group_size=4, n_faults=4, observe_minutes=10.0
+        )
+    )
+
+
+def _svtree():
+    from repro.experiments import svtree_stats
+
+    return svtree_stats.run(
+        svtree_stats.SvtreeStatsConfig(n_nodes=30, n_topics=2, subscribers_per_topic=6)
+    )
+
+
+def _ablation_topologies():
+    from repro.experiments import ablation
+
+    return ablation.run_topology_ablation(
+        ablation.TopologyAblationConfig(
+            n_nodes=16, group_counts=(2, 4), group_size=3, window_minutes=3.0
+        )
+    )
+
+
+def _ablation_repair():
+    from repro.experiments import ablation
+
+    return ablation.run_repair_ablation(
+        ablation.RepairAblationConfig(
+            n_nodes=20, n_groups=6, group_size=3, churn_events=2, observe_minutes=6.0
+        )
+    )
+
+
+def _steady_state():
+    from repro.experiments import steady_state
+
+    return steady_state.run(
+        steady_state.SteadyStateConfig(n_nodes=24, n_groups=10, group_size=4, window_minutes=3.0)
+    )
+
+
+#: name -> zero-arg factory returning the experiment's result object.
+EXPERIMENTS = {
+    "fig6_calibration": _fig6,
+    "fig7_creation": _fig7,
+    "fig8_notification": _fig8,
+    "fig9_crash": _fig9,
+    "fig10_churn": _fig10,
+    "fig11_loss": _fig11,
+    "fig12_false_positives": _fig12,
+    "sec3_agreement": _agreement,
+    "sec4_svtree": _svtree,
+    "sec5_ablation_topologies": _ablation_topologies,
+    "sec6_ablation_repair": _ablation_repair,
+    "sec75_steady_state": _steady_state,
+}
+
+
+def experiment_json(name: str) -> str:
+    result = EXPERIMENTS[name]()
+    return result.result_set.to_json(include_timing=False, indent=2) + "\n"
+
+
+def scenario_json(name: str) -> str:
+    from repro.scenarios import BUILTIN, execute
+
+    scenario = BUILTIN[name](True)  # the --quick shape
+    measurements = execute(scenario)
+    return json.dumps(measurements, indent=2, sort_keys=True) + "\n"
+
+
+def main() -> None:
+    import time
+
+    from repro.scenarios import BUILTIN
+
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    for name in EXPERIMENTS:
+        t0 = time.time()
+        (OUT_DIR / f"{name}.json").write_text(experiment_json(name))
+        print(f"{name}: {time.time() - t0:.1f}s")
+    for name in sorted(BUILTIN):
+        t0 = time.time()
+        (OUT_DIR / f"scenario_{name}.json").write_text(scenario_json(name))
+        print(f"scenario {name}: {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

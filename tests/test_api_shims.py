@@ -1,0 +1,135 @@
+"""Deprecation shims for the pre-handle group API.
+
+The legacy surface — ``create_group(members, on_complete)`` and
+``observe_notifications`` — keeps working (routed through the ledger)
+but warns, and a grep test pins that no in-repo consumer outside this
+shim-test layer still uses it.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.fuse.api import GroupStatus
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestCreateGroupShim:
+    def test_legacy_callback_still_works_and_warns(self, tiny_world):
+        outcomes = []
+        with pytest.warns(DeprecationWarning, match="create_group"):
+            fid = tiny_world.fuse(0).create_group(
+                [3, 6], lambda f, status: outcomes.append((f, status))
+            )
+        assert isinstance(fid, str)  # legacy contract: the bare FUSE ID
+        tiny_world.run_for_minutes(1.0)
+        assert outcomes == [(fid, "ok")]
+        # Routed through the ledger: the attempt and outcome are recorded.
+        assert tiny_world.ledger.status_of(fid) is GroupStatus.LIVE
+        assert [rec.fuse_id for rec in tiny_world.ledger.creates] == [fid]
+
+    def test_legacy_failure_callback(self, tiny_world):
+        tiny_world.disconnect(6)
+        outcomes = []
+        with pytest.warns(DeprecationWarning):
+            fid = tiny_world.fuse(0).create_group(
+                [6], lambda f, status: outcomes.append((f, status))
+            )
+        tiny_world.run_for_minutes(5.0)
+        assert outcomes and outcomes[0][0] is None
+        assert "unreachable" in outcomes[0][1]
+        assert tiny_world.ledger.status_of(fid) is GroupStatus.FAILED_CREATE
+
+    def test_alternative_topology_shim_warns_too(self):
+        from repro.fuse.topologies import AllToAllFuse, TopologyConfig
+        from repro.net import MercatorConfig, Network, build_mercator_topology
+        from repro.net.node import Host
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=3)
+        topo, host_ids = build_mercator_topology(
+            MercatorConfig(n_hosts=4, n_as=2), sim.rng.stream("topology")
+        )
+        net = Network(sim, topo)
+        hosts = [Host(net, h) for h in host_ids]
+        services = [AllToAllFuse(h, TopologyConfig()) for h in hosts]
+        done = []
+        with pytest.warns(DeprecationWarning, match="create_group"):
+            services[0].create_group(
+                [hosts[1].node_id], lambda f, s: done.append(s)
+            )
+        while not done and sim.step():
+            pass
+        assert done == ["ok"]
+
+
+class TestObserveNotificationsShim:
+    def test_observer_still_fires_and_warns(self, tiny_world):
+        fid, status, _ = tiny_world.create_group_sync(0, [3, 6])
+        assert status == "ok"
+        seen = []
+        with pytest.warns(DeprecationWarning, match="observe_notifications"):
+            tiny_world.fuse(3).observe_notifications(
+                lambda f, reason: seen.append((f, reason))
+            )
+        tiny_world.fuse(0).signal_failure(fid)
+        tiny_world.run_for_minutes(2.0)
+        assert (fid, "signaled") in seen
+        # Routed through the ledger: the same event is a ledger row.
+        assert tiny_world.ledger.was_notified(fid, 3)
+
+    def test_observer_scoped_to_its_own_node(self, tiny_world):
+        fid, status, _ = tiny_world.create_group_sync(0, [3, 6])
+        assert status == "ok"
+        seen = []
+        with pytest.warns(DeprecationWarning):
+            tiny_world.fuse(9).observe_notifications(  # not a member
+                lambda f, reason: seen.append(f)
+            )
+        tiny_world.fuse(0).signal_failure(fid)
+        tiny_world.run_for_minutes(2.0)
+        assert fid not in seen or 9 in tiny_world.ledger.notification_times(fid)
+
+
+class TestNoLegacyCallersRemain:
+    """Grep guard: the deprecated surface has no in-repo consumers outside
+    the shim definitions and these tests."""
+
+    #: files allowed to mention observe_notifications (definition + shims)
+    OBSERVE_ALLOWED = {
+        "src/repro/fuse/service.py",
+        "src/repro/fuse/api.py",
+        "tests/test_api_shims.py",
+        "tests/test_api_identity.py",  # docstring describing the refactor
+    }
+    #: callback-style create_group calls (second argument is a callable)
+    LEGACY_CREATE = re.compile(
+        r"\.create_group\([^)\n]*,\s*(lambda|on_complete|on_group|on_created|done|callback)"
+    )
+    CREATE_ALLOWED = {"tests/test_api_shims.py"}
+
+    def _source_files(self):
+        for sub in ("src", "examples", "benchmarks", "tests"):
+            yield from (REPO / sub).rglob("*.py")
+
+    def test_no_observe_notifications_callers(self):
+        offenders = []
+        for path in self._source_files():
+            rel = str(path.relative_to(REPO))
+            if rel in self.OBSERVE_ALLOWED:
+                continue
+            if "observe_notifications" in path.read_text():
+                offenders.append(rel)
+        assert not offenders, f"legacy observe_notifications callers: {offenders}"
+
+    def test_no_callback_style_create_group_callers(self):
+        offenders = []
+        for path in self._source_files():
+            rel = str(path.relative_to(REPO))
+            if rel in self.CREATE_ALLOWED:
+                continue
+            if self.LEGACY_CREATE.search(path.read_text()):
+                offenders.append(rel)
+        assert not offenders, f"legacy callback-style create_group callers: {offenders}"

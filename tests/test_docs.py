@@ -7,7 +7,7 @@ import subprocess
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-DOC_FILES = ["README.md", "docs/ARCHITECTURE.md", "docs/SCENARIOS.md"]
+DOC_FILES = ["README.md", "docs/ARCHITECTURE.md", "docs/SCENARIOS.md", "docs/API.md"]
 
 
 class TestDocsTree:
@@ -19,6 +19,7 @@ class TestDocsTree:
         readme = (REPO / "README.md").read_text()
         assert "docs/ARCHITECTURE.md" in readme
         assert "docs/SCENARIOS.md" in readme
+        assert "docs/API.md" in readme
 
     def test_no_broken_relative_links(self):
         result = subprocess.run(
@@ -43,3 +44,13 @@ class TestDocsTree:
         text = (REPO / "docs" / "SCENARIOS.md").read_text()
         for name in BUILTIN:
             assert name in text, f"built-in scenario {name!r} undocumented"
+
+    def test_api_docs_cover_every_notification_reason(self):
+        """docs/API.md documents the full typed-reason vocabulary."""
+        from repro.fuse.api import NotificationReason
+
+        text = (REPO / "docs" / "API.md").read_text()
+        for reason in NotificationReason:
+            if reason is NotificationReason.UNKNOWN:
+                continue  # internal fallback, not part of the contract
+            assert f"`{reason.value}`" in text, f"reason {reason.value!r} undocumented"

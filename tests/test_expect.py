@@ -1,0 +1,142 @@
+"""Scenario-level [expect] assertions: parsing, evaluation, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    BUILTIN,
+    ExpectError,
+    Expectation,
+    evaluate_expectations,
+    parse_expect,
+    scenario_from_dict,
+)
+from repro.scenarios.expect import derived_metrics
+from repro.scenarios.run import main as run_main
+from repro.scenarios.spec import SpecError
+
+MEASUREMENTS = {
+    "notifications_delivered": 6,
+    "notifications_expected": 6,
+    "spurious_groups": 0,
+    "latency_min": [0.5, 1.0, 2.0],
+}
+
+
+class TestParsing:
+    def test_number_means_equality(self):
+        (e,) = parse_expect({"spurious_groups": 0})
+        assert (e.metric, e.op, e.operand) == ("spurious_groups", "==", 0)
+
+    def test_string_op_and_metric_operand(self):
+        (e,) = parse_expect({"delivered": "== expected"})
+        assert (e.op, e.operand) == ("==", "expected")
+        (e,) = parse_expect({"notify_p95_ms": "< 120000"})
+        assert (e.op, e.operand) == ("<", 120000)
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ExpectError):
+            parse_expect({"delivered": "~= expected"})
+
+    def test_bad_value_shapes_rejected(self):
+        with pytest.raises(ExpectError):
+            parse_expect({"delivered": "expected"})  # no operator
+        with pytest.raises(ExpectError):
+            parse_expect({"delivered": True})  # booleans unsupported
+        with pytest.raises(ExpectError):
+            parse_expect({"delivered": [1, 2]})
+
+
+class TestEvaluation:
+    def test_satisfied(self):
+        outcomes = evaluate_expectations(
+            parse_expect({"spurious_groups": 0, "delivered": "== expected"}),
+            MEASUREMENTS,
+        )
+        assert all(o.ok for o in outcomes)
+
+    def test_violation_reports_actual_vs_bound(self):
+        (o,) = evaluate_expectations(
+            parse_expect({"spurious_groups": "<= -1"}), MEASUREMENTS
+        )
+        assert not o.ok and "violated" in o.violation
+
+    def test_unknown_metric_is_a_violation(self):
+        (o,) = evaluate_expectations(parse_expect({"nope": 0}), MEASUREMENTS)
+        assert not o.ok and "not reported" in o.violation
+
+    def test_derived_latency_percentiles(self):
+        values = derived_metrics(MEASUREMENTS)
+        assert values["delivered"] == 6 and values["expected"] == 6
+        assert values["notify_max_ms"] == pytest.approx(120_000.0)
+        assert 30_000.0 <= values["notify_p50_ms"] <= 120_000.0
+
+    def test_no_latencies_means_zero(self):
+        values = derived_metrics({"latency_min": []})
+        assert values["notify_p95_ms"] == 0.0
+
+
+class TestSpecIntegration:
+    def test_expect_block_loads(self):
+        scenario = scenario_from_dict(
+            {
+                "scenario": {"name": "x", "n_nodes": 10},
+                "phase": [{"name": "p", "minutes": 1.0}],
+                "track": [{"kind": "groups", "n_groups": 2, "group_size": 3}],
+                "expect": {"spurious_groups": 0, "delivered": "== expected"},
+            }
+        )
+        assert len(scenario.expect) == 2
+        assert scenario.expect[0] == Expectation("spurious_groups", "==", 0)
+
+    def test_bad_expect_block_is_a_spec_error(self):
+        with pytest.raises(SpecError):
+            scenario_from_dict(
+                {
+                    "scenario": {"name": "x", "n_nodes": 10},
+                    "phase": [{"name": "p", "minutes": 1.0}],
+                    "expect": {"delivered": "~ expected"},
+                }
+            )
+
+    def test_every_builtin_declares_expectations(self):
+        for name, factory in BUILTIN.items():
+            assert factory(True).expect, f"built-in {name!r} has no [expect] block"
+
+
+class TestCliExitCodes:
+    def _spec(self, tmp_path, expect):
+        spec = {
+            "scenario": {"name": "cli-expect", "n_nodes": 12, "seed": 3},
+            "phase": [
+                {"name": "warmup", "minutes": 1.0},
+                {"name": "fail", "minutes": 5.0, "measure": True},
+            ],
+            "track": [
+                {"kind": "groups", "n_groups": 3, "group_size": 3},
+                {"kind": "disconnect-wave", "count": 1, "phase": "fail"},
+            ],
+            "expect": expect,
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_pass_exits_zero(self, tmp_path, capsys):
+        path = self._spec(tmp_path, {"delivered": "== expected", "spurious_groups": 0})
+        assert run_main([path]) == 0
+        assert "[expect] PASS" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero(self, tmp_path, capsys):
+        path = self._spec(tmp_path, {"spurious_groups": ">= 100"})
+        assert run_main([path]) == 1
+        assert "[expect] FAIL" in capsys.readouterr().out
+
+    def test_no_expect_flag_bypasses(self, tmp_path):
+        path = self._spec(tmp_path, {"spurious_groups": ">= 100"})
+        assert run_main([path, "--no-expect"]) == 0
+
+    def test_builtin_quick_conformance_sample(self, capsys):
+        assert run_main(["steady", "--quick"]) == 0
+        assert "[expect] PASS" in capsys.readouterr().out

@@ -83,7 +83,7 @@ class TestCreateFailure:
 
     def test_creation_failure_leaves_no_state_anywhere(self, small_world):
         small_world.disconnect(9)
-        fid_attempt = small_world.fuse(0).create_group([5, 9], lambda *a: None)
+        fid_attempt = small_world.fuse(0).create_group([5, 9]).fuse_id
         small_world.run_for_minutes(5)
         for nid in small_world.node_ids:
             assert fid_attempt not in small_world.fuse(nid).groups

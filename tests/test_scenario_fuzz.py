@@ -1,0 +1,151 @@
+"""Bounded scenario fuzz: random valid specs must uphold one-way agreement.
+
+The test-sized down payment on the ROADMAP fuzzing item: ~50 seeded
+random-but-valid scenario specs (random phase timelines × random fault
+track combinations from ``TRACK_KINDS``) are generated, loaded through
+the spec loader's hard validation, executed, and checked against the §3
+one-way agreement invariant via the world ledger:
+
+* **delivery** — every observable member of every group hit by a *node*
+  fault (crash / disconnect) records exactly one notification;
+* **exactly-once** — no duplicate member-level ledger rows for any
+  registered group;
+* **no spurious** — when the spec injects only node faults, no group is
+  notified without a fault touching it (path-fault specs — partitions,
+  blocked pairs — may legitimately notify groups their faults brush).
+
+Seeds are fixed, so every generated spec is reproducible: a failure here
+is a real counterexample, shrinkable by re-running its seed.
+"""
+
+import random
+
+import pytest
+
+from repro.scenarios import execute_with_context, scenario_from_dict
+
+N_SPECS = 50
+
+#: fault-track generators; (kind is "path" when it cuts links rather
+#: than nodes — path faults exempt the strict spurious check)
+def _disconnect_wave(rng, fault, drain):
+    return {"kind": "disconnect-wave", "count": rng.randint(1, 2), "phase": fault}, False
+
+
+def _crash_recover_wave(rng, fault, drain):
+    return (
+        {
+            "kind": "crash-recover-wave",
+            "count": 2,
+            "crash_phase": fault,
+            "recover_phase": drain,
+            "spacing_ms": float(rng.choice([0.0, 200.0])),
+        },
+        False,
+    )
+
+
+def _partition(rng, fault, drain):
+    return (
+        {"kind": "partition", "phase": fault, "fractions": [0.5, 0.5]},
+        True,
+    )
+
+
+def _asymmetric(rng, fault, drain):
+    return (
+        {"kind": "asymmetric-partition", "phase": fault, "fraction": rng.choice([0.4, 0.5])},
+        True,
+    )
+
+
+def _intransitive(rng, fault, drain):
+    return (
+        {
+            "kind": "intransitive-pairs",
+            "n_pairs": 1,
+            "phase": fault,
+            "detect_minutes": 0.5,
+            "within_groups": True,
+        },
+        True,
+    )
+
+
+FAULT_POOL = [
+    _disconnect_wave,
+    _crash_recover_wave,
+    _partition,
+    _asymmetric,
+    _intransitive,
+]
+
+
+def generate_spec(seed: int):
+    """One random-but-valid spec dict; returns (spec, has_path_faults)."""
+    rng = random.Random(seed)
+    fault_minutes = rng.choice([2.0, 3.0])
+    fault, drain = "fault", "drain"
+    tracks = [
+        {
+            "kind": "groups",
+            "n_groups": rng.randint(2, 4),
+            "group_size": rng.choice([3, 4]),
+        }
+    ]
+    has_path_faults = False
+    for maker in rng.sample(FAULT_POOL, rng.randint(1, 2)):
+        track, is_path = maker(rng, fault, drain)
+        tracks.append(track)
+        has_path_faults = has_path_faults or is_path
+    spec = {
+        "scenario": {
+            "name": f"fuzz-{seed}",
+            "n_nodes": rng.choice([12, 14]),
+            "seed": seed,
+        },
+        "phase": [
+            {"name": "warmup", "minutes": rng.choice([1.0, 1.5])},
+            {"name": fault, "minutes": fault_minutes, "measure": True},
+            {"name": drain, "minutes": 8.0},
+        ],
+        "track": tracks,
+    }
+    return spec, has_path_faults
+
+
+@pytest.mark.parametrize("seed", range(N_SPECS))
+def test_fuzzed_spec_upholds_one_way_agreement(seed):
+    spec, has_path_faults = generate_spec(seed)
+    scenario = scenario_from_dict(spec)  # hard validation: bad specs fail loudly
+    measurements, ctx = execute_with_context(scenario)
+    ledger = ctx.world.ledger
+
+    # Exactly-once: no duplicate member-level rows for registered groups.
+    dupes = [
+        d
+        for d in ledger.duplicates
+        if d.role != "delegate" and d.fuse_id in ctx.groups
+    ]
+    assert not dupes, f"seed {seed}: duplicate notifications {dupes}"
+
+    # Delivery: node-faulted groups notify every observable member.
+    for fid, (_root, members) in ctx.groups.items():
+        if not any(m in ctx.fault_times for m in members):
+            continue
+        times = ledger.notification_times(fid)
+        missing = [
+            m for m in members if m not in ctx.unobservable and m not in times
+        ]
+        assert not missing, f"seed {seed}: group {fid} missed members {missing}"
+
+    # No spurious notifications without a fault (strict only for specs
+    # whose faults are node-scoped).
+    if not has_path_faults:
+        assert measurements["spurious_groups"] == 0, (
+            f"seed {seed}: spurious notifications with only node faults"
+        )
+    assert (
+        measurements["groups_created"] + measurements["groups_failed"]
+        == spec["track"][0]["n_groups"]
+    )

@@ -3,6 +3,7 @@
 
 import pytest
 
+from repro.fuse.api import GroupLedger
 from repro.fuse.topologies import (
     AllToAllFuse,
     CentralServer,
@@ -28,20 +29,28 @@ class Deployment:
         self.net = Network(self.sim, topo)
         self.hosts = [Host(self.net, h) for h in host_ids]
         self.kind = kind
+        self.ledger = GroupLedger(self.sim, self.net.faults)
         if kind == "central":
             self.server = CentralServer(self.hosts[-1], FAST)
             self.services = [
-                CentralServerFuse(h, self.hosts[-1].node_id, FAST) for h in self.hosts[:-1]
+                CentralServerFuse(h, self.hosts[-1].node_id, FAST, ledger=self.ledger)
+                for h in self.hosts[:-1]
             ]
         elif kind == "direct":
-            self.services = [DirectTreeFuse(h, FAST) for h in self.hosts[:-1]]
+            self.services = [DirectTreeFuse(h, FAST, ledger=self.ledger) for h in self.hosts[:-1]]
         else:
-            self.services = [AllToAllFuse(h, FAST) for h in self.hosts[:-1]]
+            self.services = [AllToAllFuse(h, FAST, ledger=self.ledger) for h in self.hosts[:-1]]
 
     def create_sync(self, root: int, members):
         outcome = {}
-        self.services[root].create_group(
-            members, lambda fid, status: outcome.update(fid=fid, status=status)
+        handle = self.services[root].create_group(members)
+        handle.on_live(lambda g: outcome.update(fid=g.fuse_id, status="ok"))
+        handle.on_notified(
+            lambda g, _reason: outcome.update(
+                fid=None, status=g.create_failure_reason or "failed"
+            )
+            if "status" not in outcome
+            else None
         )
         for _ in range(200_000):
             if "status" in outcome or not self.sim.step():
@@ -103,6 +112,18 @@ class TestAlternativeTopologies:
         deployment.services[0].register_failure_handler("nope", fired.append)
         deployment.sim.run_for(100)
         assert fired == ["nope"]
+
+    def test_shared_ledger_sees_every_member(self, deployment):
+        """Handle/ledger parity with the overlay implementation: one
+        deployment-wide ledger records every member's notification, so
+        the creator's handle surface is complete."""
+        fid, status = deployment.create_sync(0, [1, 2])
+        assert status == "ok"
+        deployment.services[1].signal_failure(fid)
+        deployment.run_minutes(3)
+        times = deployment.ledger.notification_times(fid)
+        expected = {deployment.hosts[m].node_id for m in (0, 1, 2)}
+        assert expected <= set(times), (deployment.kind, times)
 
     def test_independent_groups(self, deployment):
         fid_a, _ = deployment.create_sync(0, [1, 2])
