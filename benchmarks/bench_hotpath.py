@@ -63,9 +63,9 @@ MODES = {
 }
 
 
-def build_world(hosts: int, groups: int, group_size: int, seed: int):
+def build_world(hosts: int, groups: int, group_size: int, seed: int, lanes: str = "on"):
     """A bootstrapped overlay with live FUSE groups: the §7.5 steady state."""
-    world = FuseWorld(n_nodes=hosts, seed=seed)
+    world = FuseWorld(n_nodes=hosts, seed=seed, liveness_lanes=lanes)
     world.bootstrap()
     rng = world.sim.rng.stream("bench-hotpath")
     created = 0
@@ -110,12 +110,23 @@ def measure(world: FuseWorld, window_minutes: float) -> dict:
     }
 
 
-def run_benchmark(mode: str, seed: int) -> dict:
+def run_benchmark(mode: str, seed: int, lanes: str = "on") -> dict:
     hosts, groups, group_size, window = MODES[mode]
     t0 = time.perf_counter()
-    world, created = build_world(hosts, groups, group_size, seed)
+    world, created = build_world(hosts, groups, group_size, seed, lanes)
     setup_wall = time.perf_counter() - t0
     result = measure(world, window)
+    plane = world.sim.lane_plane
+    lane_stats = {"mode": world.lanes_mode}
+    if plane is not None:
+        lane_stats.update(
+            backend=plane.backend,
+            laned_nodes=plane.lane_count,
+            micro_events=plane.micro_dispatched,
+            absorbs=plane.absorbs,
+            ejects=plane.ejects,
+        )
+    result["liveness_lanes"] = lane_stats
     result.update(
         {
             "mode": mode,
@@ -150,10 +161,19 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="small CI smoke workload")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--lanes",
+        choices=("on", "off", "py"),
+        default="on",
+        help="liveness-lane mode; off/py results merge under a suffixed "
+        "mode key (e.g. 'full_lanes_off') so both baselines can coexist",
+    )
     args = parser.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
-    result = run_benchmark(mode, args.seed)
+    result = run_benchmark(mode, args.seed, lanes=args.lanes)
+    if args.lanes != "on":
+        result["mode"] = f"{mode}_lanes_{args.lanes}"
     merge_out(args.out, result)
     print(
         f"[bench_hotpath:{mode}] {result['events']} events in "

@@ -59,8 +59,8 @@ QUICK_SCALES = (400, 2000)
 FULL_SCALES = (400, 2000, 16000)
 
 
-def build_world(n: int, seed: int):
-    world = FuseWorld(n_nodes=n, seed=seed)
+def build_world(n: int, seed: int, lanes: str = "on"):
+    world = FuseWorld(n_nodes=n, seed=seed, liveness_lanes=lanes)
     world.bootstrap()
     return world
 
@@ -76,13 +76,13 @@ def add_groups(world: FuseWorld, groups: int, group_size: int) -> int:
     return created
 
 
-def measure_scale(n: int, seed: int, trace_memory: bool) -> dict:
+def measure_scale(n: int, seed: int, trace_memory: bool, lanes: str = "on") -> dict:
     groups, group_size, window_minutes = SCALES[n]
 
     # Pass 1 — timed, untraced.
     gc.collect()
     t0 = time.perf_counter()
-    world = build_world(n, seed)
+    world = build_world(n, seed, lanes)
     setup_seconds = time.perf_counter() - t0
     setup_events = world.sim.events_dispatched
     members = world.overlay.member_count
@@ -93,10 +93,26 @@ def measure_scale(n: int, seed: int, trace_memory: bool) -> dict:
     world.run_for_minutes(1.0)  # drain InstallChecking traffic
 
     events_before = world.sim.events_dispatched
+    plane = world.sim.lane_plane
+    micro_before = plane.micro_dispatched if plane is not None else 0
     t0 = time.perf_counter()
     world.run_for_minutes(window_minutes)
     window_wall = time.perf_counter() - t0
     window_events = world.sim.events_dispatched - events_before
+
+    lane_stats = {"mode": world.lanes_mode}
+    if plane is not None:
+        window_micro = plane.micro_dispatched - micro_before
+        lane_stats.update(
+            backend=plane.backend,
+            laned_nodes=plane.lane_count,
+            window_micro_events=window_micro,
+            window_micro_fraction=round(window_micro / window_events, 4)
+            if window_events
+            else 0.0,
+            absorbs=plane.absorbs,
+            ejects=plane.ejects,
+        )
 
     result = {
         "n_nodes": n,
@@ -110,6 +126,7 @@ def measure_scale(n: int, seed: int, trace_memory: bool) -> dict:
         "window_virtual_minutes": window_minutes,
         "window_events": window_events,
         "events_per_sec": round(window_events / window_wall, 1) if window_wall else 0.0,
+        "liveness_lanes": lane_stats,
         "python": platform.python_version(),
     }
     del world
@@ -118,7 +135,7 @@ def measure_scale(n: int, seed: int, trace_memory: bool) -> dict:
     # Pass 2 — identical setup under tracemalloc for peak allocation.
     if trace_memory:
         tracemalloc.start()
-        traced = build_world(n, seed)
+        traced = build_world(n, seed, lanes)
         _current, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
         result["setup_peak_kb"] = round(peak / 1024.0, 1)
@@ -128,7 +145,7 @@ def measure_scale(n: int, seed: int, trace_memory: bool) -> dict:
     return result
 
 
-def merge_out(path: pathlib.Path, results: list) -> None:
+def merge_out(path: pathlib.Path, results: list, section: str = "scales") -> None:
     data = {}
     if path.exists():
         try:
@@ -136,9 +153,9 @@ def merge_out(path: pathlib.Path, results: list) -> None:
         except ValueError:
             data = {}
     data.setdefault("benchmark", "scale")
-    data.setdefault("scales", {})
+    data.setdefault(section, {})
     for result in results:
-        data["scales"][str(result["n_nodes"])] = result
+        data[section][str(result["n_nodes"])] = result
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
@@ -152,12 +169,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--lanes",
+        choices=("on", "off", "py"),
+        default="on",
+        help="liveness-lane mode; 'off' results merge into a separate "
+        "'scales_lanes_off' section so both baselines can be committed",
+    )
     args = parser.parse_args(argv)
 
     scales = QUICK_SCALES if args.quick else FULL_SCALES
     results = []
     for n in scales:
-        result = measure_scale(n, args.seed, trace_memory=not args.no_trace)
+        result = measure_scale(n, args.seed, trace_memory=not args.no_trace, lanes=args.lanes)
         results.append(result)
         peak = result.get("peak_kb_per_node")
         print(
@@ -168,8 +192,9 @@ def main(argv=None) -> int:
             + f", {result['routes_cached_after_bootstrap']} routes / "
             f"{result['dijkstra_trees_after_bootstrap']} trees cached"
         )
-    merge_out(args.out, results)
-    print(f"-> {args.out}")
+    section = "scales" if args.lanes == "on" else f"scales_lanes_{args.lanes}"
+    merge_out(args.out, results, section=section)
+    print(f"-> {args.out} ({section})")
     return 0
 
 

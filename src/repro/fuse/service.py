@@ -96,6 +96,8 @@ class FuseService:
         "_liveness_timeout",
         "_fuse_id_serial",
         "_stable_store",
+        "_links_gen",
+        "_shared_cache",
     )
 
     def __init__(
@@ -118,6 +120,14 @@ class FuseService:
         self.groups: Dict[FuseId, GroupState] = {}
         self.notifications: Dict[FuseId, str] = {}
         self._last_list_sent: Dict[NodeId, float] = {}
+        # _shared_ids scans every group for link membership — the hottest
+        # FUSE call in steady state (twice per ping, plus evidence on
+        # both ends).  Healthy pings only *reschedule* link timers, so
+        # the scan result is stable between membership changes: every
+        # site that adds/removes a group or changes a links key-set
+        # bumps _links_gen, and the per-neighbor cache keys on it.
+        self._links_gen = 0
+        self._shared_cache: Dict[NodeId, list] = {}
         self._liveness_timeout = self.config.effective_liveness_timeout(
             overlay_node.config.liveness_silence_ms
         )
@@ -153,6 +163,8 @@ class FuseService:
         state and harden into notifications."""
         self.groups.clear()
         self._last_list_sent.clear()
+        self._links_gen += 1
+        self._shared_cache.clear()
 
     def _on_host_recover(self) -> None:
         """§3.6 alternative: with stable storage enabled, a recovering
@@ -177,6 +189,7 @@ class FuseService:
             state.member_ids = list(record["member_ids"])
             state.member_names = list(record["member_names"])
             self.groups[fuse_id] = state
+            self._links_gen += 1
             if state.is_root:
                 # Rebuild the whole checking tree via a repair round.
                 state.pending_installs = set(state.member_names)
@@ -254,6 +267,7 @@ class FuseService:
         state.member_names = [self._name_of(m) for m in member_ids]
         state.pending_installs = set(state.member_names)
         self.groups[fuse_id] = state
+        self._links_gen += 1
         self.sim.metrics.counter("fuse.create_attempts").increment()
 
         handle = FuseGroup(
@@ -406,6 +420,7 @@ class FuseService:
             is_member=True,
         )
         self.groups[request.fuse_id] = state
+        self._links_gen += 1
         self._persist(state)
         self._arm_bootstrap_timer(state)
         self.host.respond(request, GroupCreateReply(request.fuse_id, ok=True))
@@ -484,6 +499,7 @@ class FuseService:
                 created_at=self.sim.now,
             )
             self.groups[payload.fuse_id] = state
+            self._links_gen += 1
         state.seq = payload.seq
         for hop in (prev_hop, next_hop):
             if hop is not None and hop != self.host.node_id:
@@ -523,6 +539,7 @@ class FuseService:
         if existing is not None and existing.reschedule_after(self._liveness_timeout):
             return
         state.links[neighbor] = self._make_link_timer(state.fuse_id, neighbor)
+        self._links_gen += 1
 
     def _make_link_timer(self, fuse_id: FuseId, neighbor: NodeId):
         return self.host.call_after(
@@ -534,24 +551,61 @@ class FuseService:
     def _shared_ids(self, neighbor: NodeId) -> List[FuseId]:
         if not self.groups:
             return []  # fast path: dominant during bootstrap at scale
-        return sorted(
+        entry = self._shared_cache.get(neighbor)
+        if entry is not None and entry[0] == self._links_gen:
+            return entry[1]
+        ids = [
             fuse_id for fuse_id, state in self.groups.items() if neighbor in state.links
-        )
+        ]
+        ids.sort()
+        self._shared_cache[neighbor] = [self._links_gen, ids, None, None]
+        return ids
 
     @staticmethod
     def _hash_ids(ids: Sequence[FuseId]) -> str:
         return hashlib.sha1("|".join(ids).encode()).hexdigest()
 
+    def _shared_hash(self, neighbor: NodeId, ids: List[FuseId]) -> str:
+        """sha1 of the shared-id list, memoized alongside the cached list
+        (the ids of a healthy link hash identically every ping)."""
+        entry = self._shared_cache.get(neighbor)
+        if entry is not None and entry[0] == self._links_gen and entry[1] is ids:
+            digest = entry[2]
+            if digest is None:
+                digest = entry[2] = self._hash_ids(ids)
+            return digest
+        return self._hash_ids(ids)
+
     def _payload_for(self, neighbor: NodeId) -> Optional[dict]:
-        shared = self._shared_ids(neighbor)
-        if not shared:
+        # The piggyback dict for a healthy link is the same every ping
+        # (it only carries the shared-id hash), so it is memoized next to
+        # the id list and invalidated by the same generation bump.
+        if not self.groups:
             return None
-        return {"fuse": {"hash": self._hash_ids(shared)}}
+        entry = self._shared_cache.get(neighbor)
+        if entry is None or entry[0] != self._links_gen:
+            self._shared_ids(neighbor)
+            entry = self._shared_cache[neighbor]
+        payload = entry[3]
+        if payload is None:
+            ids = entry[1]
+            if not ids:
+                return None
+            digest = entry[2]
+            if digest is None:
+                digest = entry[2] = self._hash_ids(ids)
+            payload = entry[3] = {"fuse": {"hash": digest}}
+        return payload
 
     def _on_ping_evidence(self, neighbor: NodeId, payload: dict, _is_ack: bool) -> None:
-        theirs = payload.get("fuse", {}).get("hash", _EMPTY_HASH)
+        fuse_part = payload.get("fuse")
+        theirs = _EMPTY_HASH if fuse_part is None else fuse_part.get("hash", _EMPTY_HASH)
+        if fuse_part is None and not self.groups:
+            # Empty on both sides — trivially in agreement.  The dominant
+            # steady-state case for nodes outside every group.
+            return
         mine_ids = self._shared_ids(neighbor)
-        mine = self._hash_ids(mine_ids) if mine_ids else _EMPTY_HASH
+        mine = self._shared_hash(neighbor, mine_ids) if mine_ids else _EMPTY_HASH
         if mine == theirs:
             # Agreement: this link is alive for every shared group.
             for fuse_id in mine_ids:
@@ -587,6 +641,7 @@ class FuseService:
                 timer = state.links.pop(peer, None)
                 if timer is not None:
                     timer.cancel()
+                    self._links_gen += 1
                 self._local_tree_failure(state, "reconcile-disagreement")
         # Groups the peer has but we do not: the peer's own reconciliation
         # (triggered by our hash) removes them on its side; replying with
@@ -599,6 +654,7 @@ class FuseService:
         timer = state.links.pop(neighbor, None)
         if timer is not None:
             timer.cancel()
+            self._links_gen += 1
         self.sim.metrics.counter("fuse.link_timeouts").increment()
         self._local_tree_failure(state, "link-timeout")
 
@@ -612,6 +668,7 @@ class FuseService:
             timer = state.links.pop(neighbor, None)
             if timer is not None:
                 timer.cancel()
+                self._links_gen += 1
             self._local_tree_failure(state, f"overlay-{reason}")
 
     # ------------------------------------------------------------------
@@ -628,6 +685,7 @@ class FuseService:
         for timer in state.links.values():
             timer.cancel()
         state.links.clear()
+        self._links_gen += 1
 
     def _local_tree_failure(self, state: GroupState, reason: str, exclude: Optional[NodeId] = None) -> None:
         """This node's view of the group's checking tree is broken (§6.3):
@@ -821,6 +879,7 @@ class FuseService:
         and RegisterFailureHandler fire immediately."""
         if self.groups.pop(state.fuse_id, None) is None:
             return
+        self._links_gen += 1
         state.cancel_all_timers()
         self._unpersist(state.fuse_id)
         self.notifications[state.fuse_id] = reason
@@ -836,6 +895,7 @@ class FuseService:
         """Silent teardown for delegate-only or never-completed state."""
         if self.groups.pop(state.fuse_id, None) is None:
             return
+        self._links_gen += 1
         state.cancel_all_timers()
         self._unpersist(state.fuse_id)
 

@@ -38,17 +38,40 @@ class FaultInjector:
         #: install at any world size, unlike enumerating |A|x|B| pairs.
         self._one_way_cuts: List[Tuple[FrozenSet[NodeId], FrozenSet[NodeId]]] = []
         self._partition_of: Dict[NodeId, int] = {}
+        #: bumped by every mutator; caches keyed on fault state (the
+        #: liveness lanes' can_communicate fast path) compare this.
+        self._mutations = 0
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotone generation counter: changes whenever fault state may
+        have changed.  Cheap to poll; never decreases."""
+        return self._mutations
+
+    def any_faults(self) -> bool:
+        """True when any fault at all is installed — the complement is a
+        fast path where ``can_communicate`` is vacuously True."""
+        return bool(
+            self._crashed
+            or self._disconnected
+            or self._blocked_pairs
+            or self._blocked_one_way
+            or self._one_way_cuts
+            or self._partition_of
+        )
 
     # ------------------------------------------------------------------
     # Crashes (fail-stop)
     # ------------------------------------------------------------------
     def crash(self, node: NodeId) -> None:
         self._crashed.add(node)
+        self._mutations += 1
 
     def recover(self, node: NodeId) -> None:
         """Restart a crashed node (the process reinitializes from scratch,
         per the paper's trivial crash-recovery story in §3.6)."""
         self._crashed.discard(node)
+        self._mutations += 1
 
     def is_crashed(self, node: NodeId) -> bool:
         return node in self._crashed
@@ -62,9 +85,11 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def disconnect(self, node: NodeId) -> None:
         self._disconnected.add(node)
+        self._mutations += 1
 
     def reconnect(self, node: NodeId) -> None:
         self._disconnected.discard(node)
+        self._mutations += 1
 
     def is_disconnected(self, node: NodeId) -> bool:
         return node in self._disconnected
@@ -77,9 +102,11 @@ class FaultInjector:
         if a == b:
             raise ValueError("cannot block a node from itself")
         self._blocked_pairs.add(frozenset((a, b)))
+        self._mutations += 1
 
     def unblock_pair(self, a: NodeId, b: NodeId) -> None:
         self._blocked_pairs.discard(frozenset((a, b)))
+        self._mutations += 1
 
     # ------------------------------------------------------------------
     # Asymmetric (one-way) failures
@@ -90,9 +117,11 @@ class FaultInjector:
         if src == dst:
             raise ValueError("cannot block a node from itself")
         self._blocked_one_way.add((src, dst))
+        self._mutations += 1
 
     def unblock_one_way(self, src: NodeId, dst: NodeId) -> None:
         self._blocked_one_way.discard((src, dst))
+        self._mutations += 1
 
     def block_one_way_sets(self, srcs: Iterable[NodeId], dsts: Iterable[NodeId]) -> None:
         """Drop every packet from any node in ``srcs`` to any node in
@@ -103,10 +132,12 @@ class FaultInjector:
         if cut[0] & cut[1]:
             raise ValueError("one-way cut sides overlap")
         self._one_way_cuts.append(cut)
+        self._mutations += 1
 
     def unblock_one_way_sets(self, srcs: Iterable[NodeId], dsts: Iterable[NodeId]) -> None:
         cut = (frozenset(srcs), frozenset(dsts))
         self._one_way_cuts = [c for c in self._one_way_cuts if c != cut]
+        self._mutations += 1
 
     def is_one_way_blocked(self, src: NodeId, dst: NodeId) -> bool:
         if (src, dst) in self._blocked_one_way:
@@ -141,9 +172,11 @@ class FaultInjector:
                 if node in self._partition_of:
                     raise ValueError(f"node {node} appears in two partition groups")
                 self._partition_of[node] = index
+        self._mutations += 1
 
     def heal_partition(self) -> None:
         self._partition_of.clear()
+        self._mutations += 1
 
     # ------------------------------------------------------------------
     # The one question the network asks
@@ -176,6 +209,7 @@ class FaultInjector:
         self._blocked_one_way.clear()
         self._one_way_cuts.clear()
         self._partition_of.clear()
+        self._mutations += 1
 
     def __repr__(self) -> str:
         return (

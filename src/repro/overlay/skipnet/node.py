@@ -120,6 +120,11 @@ class OverlayNode:
         self._ping_listeners.append(listener)
 
     def register_payload_provider(self, provider: PayloadProvider) -> None:
+        plane = self.overlay.lane_plane
+        if plane is not None:
+            # Lanes snapshot payload collection at absorb time, and any
+            # lane may hold this node as a neighbor: flush them all.
+            plane.flush()
         self._payload_providers.append(provider)
 
     def register_failure_listener(self, listener: FailureListener) -> None:
@@ -221,6 +226,11 @@ class OverlayNode:
         self.overlay.member_leave(self)
 
     def _teardown(self) -> None:
+        plane = self.overlay.lane_plane
+        if plane is not None:
+            # Materialize any laned timers first so the cancellation
+            # below sees exactly the handles the scalar path would hold.
+            plane.eject_node(self)
         self.joined = False
         if self._sweep_timer is not None:
             self._sweep_timer.cancel()
@@ -239,6 +249,11 @@ class OverlayNode:
     # Table management (pushed by the overlay coordinator)
     # ------------------------------------------------------------------
     def set_table(self, table: NodeTable) -> None:
+        plane = self.overlay.lane_plane
+        if plane is not None:
+            # A table change is lane-heterogeneous (the neighbor set the
+            # lane snapshotted may be stale): back to the scalar path.
+            plane.eject_node(self)
         self.table = table
         self._neighbor_cache = None
         if not self.joined:
@@ -275,10 +290,25 @@ class OverlayNode:
     # ------------------------------------------------------------------
     def _schedule_first_sweep(self) -> None:
         phase = self.overlay.rng.uniform(0.0, self.config.ping_period_ms)
+        # Compressed flash-crowd bootstraps set a floor past the end of
+        # the join storm so no node starts probing while most of the
+        # crowd is still mid-join (a ping sent at t into a 16k-node storm
+        # can time out against a neighbor that simply hasn't joined yet,
+        # permanently evicting it).  The floor is expressed as an
+        # absolute time; zero (the default) leaves the phase untouched.
+        floor_delay = self.overlay.first_sweep_floor_ms - self.overlay.sim.clock.now
+        if floor_delay > 0.0:
+            phase += floor_delay
         self._sweep_timer = self.host.call_after(phase, self._sweep, label=f"{self.name}:sweep")
 
     def _sweep(self) -> None:
         if not self.joined:
+            return
+        plane = self.overlay.lane_plane
+        if plane is not None and plane.try_absorb(self):
+            # The plane took over this sweep (and every subsequent one
+            # until ejection): pings, acks, timeouts, and the reschedule
+            # all run as lane micro-events.
             return
         for node_id in self._neighbor_ids():
             self._ping_neighbor(node_id)
@@ -306,8 +336,15 @@ class OverlayNode:
     def _collect_payload(self, neighbor: NodeId) -> OverlayPayload:
         # Most pings carry nothing (no shared FUSE groups on the link);
         # those share one empty dict instead of allocating per ping.
+        providers = self._payload_providers
+        if len(providers) == 1:
+            # Standard wiring (just the FUSE provider): no merge needed,
+            # so the provider's dict rides as-is.  Payload dicts are
+            # read-only downstream.
+            contribution = providers[0](neighbor)
+            return contribution if contribution else _EMPTY_PAYLOAD
         payload: Optional[OverlayPayload] = None
-        for provider in self._payload_providers:
+        for provider in providers:
             contribution = provider(neighbor)
             if contribution:
                 if payload is None:

@@ -41,6 +41,12 @@ class SkipNetOverlay:
         self._nodes: Dict[NameId, OverlayNode] = {}
         self._id_by_name: Dict[NameId, NodeId] = {}
         self._name_by_id: Dict[NodeId, NameId] = {}
+        #: optional liveness-lane plane (repro.sim.lanes.LanePlane); the
+        #: world installs it so OverlayNode sweeps can be absorbed.
+        self.lane_plane = None
+        #: absolute time before which no first sweep may fire; set by
+        #: compressed flash-crowd bootstraps (see FuseWorld.bootstrap).
+        self.first_sweep_floor_ms = 0.0
 
     # ------------------------------------------------------------------
     # Node lifecycle

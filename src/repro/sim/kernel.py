@@ -54,6 +54,10 @@ class Simulator:
         self.rng = RngStreams(seed)
         self.metrics = MetricsRegistry(self.clock)
         self.trace: Optional[TraceLog] = TraceLog(self.clock) if trace else None
+        #: optional liveness-lane plane (repro.sim.lanes.LanePlane); when
+        #: set, run()/step() interleave its micro-events with the heap in
+        #: global (when, seq) order.  None keeps the classic loop.
+        self.lane_plane = None
         self._dispatched = 0
         self._running = False
         self._stop_requested = False
@@ -112,6 +116,26 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch a single event.  Returns False when the queue is empty."""
+        plane = self.lane_plane
+        if plane is not None:
+            heap = self.queue._heap
+            pending = self.queue._pending
+            while True:
+                while heap and heap[0][1] not in pending:
+                    heappop(heap)
+                lane_key = plane.next_key()
+                if lane_key is None:
+                    break
+                if heap:
+                    head = heap[0]
+                    if (head[0], head[1]) < lane_key:
+                        break
+                n = plane.advance(None, 1, honor_stop=False)
+                if n:
+                    self._dispatched += n
+                    return True
+                # advance() made progress without dispatching (an eject
+                # or flush moved events onto the heap); look again.
         entry = self.queue.pop()
         if entry is None:
             return False
@@ -145,27 +169,63 @@ class Simulator:
         clock = self.clock
         trace = self.trace
         pop = heappop
+        plane = self.lane_plane
         try:
-            while heap and not self._stop_requested:
-                if dispatched == max_events:
-                    break
-                entry = heap[0]
-                seq = entry[1]
-                if seq not in pending:
-                    pop(heap)  # cancelled: shed lazily, no dispatch
-                    continue
-                when = entry[0]
-                if until is not None and when > until:
-                    break
-                pop(heap)
-                pending.remove(seq)
-                # Heap order plus the no-past-scheduling guard make this
-                # monotonic, so the Clock.advance_to check is skipped.
-                clock._now = when
-                if trace is not None:
-                    trace.record("dispatch", entry[3])
-                entry[2]()
-                dispatched += 1
+            if plane is None:
+                while heap and not self._stop_requested:
+                    if dispatched == max_events:
+                        break
+                    entry = heap[0]
+                    seq = entry[1]
+                    if seq not in pending:
+                        pop(heap)  # cancelled: shed lazily, no dispatch
+                        continue
+                    when = entry[0]
+                    if until is not None and when > until:
+                        break
+                    pop(heap)
+                    pending.remove(seq)
+                    # Heap order plus the no-past-scheduling guard make
+                    # this monotonic, so Clock.advance_to is skipped.
+                    clock._now = when
+                    if trace is not None:
+                        trace.record("dispatch", entry[3])
+                    entry[2]()
+                    dispatched += 1
+            else:
+                # Lane-aware loop: the plane's micro-events and the real
+                # heap merge in global (when, seq) order.  Runs of lane
+                # events are dispatched in plane.advance's tight loop;
+                # real events are dispatched inline exactly as above.
+                while not self._stop_requested:
+                    if dispatched == max_events:
+                        break
+                    while heap and heap[0][1] not in pending:
+                        pop(heap)  # cancelled: shed lazily, no dispatch
+                    lane_key = plane.next_key()
+                    if heap:
+                        entry = heap[0]
+                        if lane_key is None or (entry[0], entry[1]) < lane_key:
+                            when = entry[0]
+                            if until is not None and when > until:
+                                break
+                            pop(heap)
+                            pending.remove(entry[1])
+                            clock._now = when
+                            if trace is not None:
+                                trace.record("dispatch", entry[3])
+                            entry[2]()
+                            dispatched += 1
+                            continue
+                    if lane_key is None:
+                        break
+                    if until is not None and lane_key[0] > until:
+                        break
+                    budget = None if max_events is None else max_events - dispatched
+                    dispatched += plane.advance(until, budget)
+                    # A zero return still made progress (an ejection or
+                    # flush moved lane events onto the heap), so looping
+                    # terminates.
             if until is not None and until > clock._now and not self._stop_requested:
                 clock._now = until
         finally:

@@ -30,6 +30,7 @@ from repro.overlay.skipnet.config import OverlayConfig
 from repro.overlay.skipnet.node import OverlayNode
 from repro.overlay.skipnet.overlay import SkipNetOverlay
 from repro.sim.kernel import Simulator
+from repro.sim.lanes import LanePlane, resolve_lanes_mode
 
 MINUTE_MS = 60_000.0
 
@@ -46,6 +47,7 @@ class FuseWorld:
         fuse_config: Optional[FuseConfig] = None,
         transport: Optional[TransportConfig] = None,
         trace: bool = False,
+        liveness_lanes: Optional[object] = None,
     ) -> None:
         self.sim = Simulator(seed=seed, trace=trace)
         self.mercator = mercator or MercatorConfig.scaled_for_hosts(n_nodes)
@@ -74,6 +76,19 @@ class FuseWorld:
             self.fuse_services[node_id] = FuseService(
                 overlay_node, self.fuse_config, ledger=self.ledger
             )
+
+        # Liveness lanes: the batched fast path for steady-state ping
+        # traffic (repro.sim.lanes).  ``liveness_lanes`` overrides the
+        # REPRO_LIVENESS_LANES environment default ("on"); "py" forces
+        # the pure-Python lane backend even when numpy is available.
+        self.lanes_mode = resolve_lanes_mode(liveness_lanes)
+        if self.lanes_mode != "off":
+            plane = LanePlane(
+                self.sim, self.net, self.overlay,
+                force_python=(self.lanes_mode == "py"),
+            )
+            self.sim.lane_plane = plane
+            self.overlay.lane_plane = plane
 
     # ------------------------------------------------------------------
     # Bootstrap and clock control
@@ -123,10 +138,41 @@ class FuseWorld:
         """
         if join_spacing_ms is None:
             join_spacing_ms = self.default_join_spacing_ms()
-        for index, node_id in enumerate(self.node_ids):
-            node = self.overlay_nodes[node_id]
-            self.sim.call_at(index * join_spacing_ms, node.join)
-        self.sim.run(until=len(self.node_ids) * join_spacing_ms + settle_ms)
+        if join_spacing_ms < 200.0:
+            # Compressed flash-crowd regime: hold every node's first
+            # liveness sweep until the join storm has ended.  A probe
+            # fired mid-storm races thousands of queued joins; at 16k
+            # nodes that raced a handful of members clean out of the
+            # overlay (the 15,996/16,000 gap).  Classic 200 ms schedules
+            # keep the floor at zero so historical event streams stay
+            # byte-identical.
+            self.overlay.first_sweep_floor_ms = len(self.node_ids) * join_spacing_ms
+        plane = self.sim.lane_plane
+        if plane is not None:
+            # Join storms churn routing tables too fast for lanes to pay
+            # off (every table push would eject); absorb only afterward.
+            plane.suspend()
+        try:
+            for index, node_id in enumerate(self.node_ids):
+                node = self.overlay_nodes[node_id]
+                self.sim.call_at(index * join_spacing_ms, node.join)
+            self.sim.run(until=len(self.node_ids) * join_spacing_ms + settle_ms)
+        finally:
+            if plane is not None:
+                plane.resume()
+        if join_spacing_ms < 200.0:
+            # A probe routed into the churning mid-storm rings can
+            # dead-end (hop-count drop), parking its joiner on the 30 s
+            # join-retry timer — past the settle window.  Drive the
+            # world until the stragglers' retries land so a compressed
+            # bootstrap always ends with full membership (bounded: one
+            # retry cycle plus slack).
+            deadline = self.sim.now + 60_000.0
+            while (
+                self.overlay.member_count < len(self.node_ids)
+                and self.sim.now < deadline
+            ):
+                self.sim.run_for(1_000.0)
 
     def run_for(self, duration_ms: float) -> None:
         self.sim.run_for(duration_ms)

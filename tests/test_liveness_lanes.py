@@ -1,0 +1,200 @@
+"""Liveness-lane proofs: byte identity, ejection, fallback parity.
+
+The lane plane (``repro.sim.lanes``) is a pure performance layer: with
+lanes on, off, or forced to the pure-Python backend, every observable —
+dispatch trace, counters, notification times, scenario measurements —
+must be byte-identical.  These tests pin that contract:
+
+* the golden dispatch trace matches the committed fixture with lanes
+  *off* and with the pure-Python backend (the default-on path is covered
+  by ``tests/test_hotpath_determinism.py``, against the same fixture, so
+  the three modes are pairwise identical by transitivity);
+* every builtin scenario reproduces its committed ``[expect]`` fixture
+  with lanes off (lanes-on is covered by ``tests/test_api_identity.py``);
+* heterogeneity ejects lanes before the next lane step: a link fault, a
+  loss change (``Topology.generation``), and a crash mid-window each
+  return their nodes to the scalar path;
+* the compressed flash-crowd bootstrap joins *every* node (the
+  15,996/16,000 gap regression, fixed by the first-sweep floor).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.scenarios import BUILTIN
+from repro.sim.lanes import LanePlane, resolve_lanes_mode
+from repro.world import FuseWorld
+
+from golden_scenario import run_golden_scenario
+from tests.make_api_fixtures import OUT_DIR, scenario_json
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_dispatch.json"
+
+GOLDEN_KEYS = (
+    "trace_records",
+    "trace_sha256",
+    "events_dispatched",
+    "final_time_ms",
+    "counters",
+    "group_status",
+    "notifications",
+)
+
+
+def _golden_fixture():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenTraceIdentity:
+    """Lanes off and the pure-Python lane backend reproduce the same
+    golden dispatch trace as the committed (lanes-on-verified) fixture."""
+
+    @pytest.mark.parametrize("mode", ["off", "py"])
+    def test_golden_trace_mode(self, mode, monkeypatch):
+        monkeypatch.setenv("REPRO_LIVENESS_LANES", mode)
+        want = _golden_fixture()
+        got = run_golden_scenario(seed=want["seed"])
+        for key in GOLDEN_KEYS:
+            assert got[key] == want[key], f"{key} diverged with lanes={mode}"
+
+
+class TestScenarioIdentityLanesOff:
+    """All builtin scenarios match their committed fixtures with lanes
+    off (test_api_identity covers the default lanes-on path)."""
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN))
+    def test_builtin_scenario_lanes_off(self, name, monkeypatch):
+        monkeypatch.setenv("REPRO_LIVENESS_LANES", "off")
+        fixture = (OUT_DIR / f"scenario_{name}.json").read_text()
+        assert scenario_json(name) == fixture
+
+
+class TestFallbackParity:
+    """The pure-Python lane backend is gated exactly like scipy in
+    net/routing.py: same results, numpy merely optional."""
+
+    def test_scenario_pure_python_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LIVENESS_LANES", "py")
+        fixture = (OUT_DIR / "scenario_steady.json").read_text()
+        assert scenario_json("steady") == fixture
+
+    def test_forced_python_backend_reports_python(self):
+        world = FuseWorld(n_nodes=12, seed=3, liveness_lanes="py")
+        assert world.sim.lane_plane is not None
+        assert world.sim.lane_plane.backend == "python"
+
+    def test_mode_resolution(self, monkeypatch):
+        assert resolve_lanes_mode(True) == "on"
+        assert resolve_lanes_mode(False) == "off"
+        assert resolve_lanes_mode("py") == "py"
+        monkeypatch.setenv("REPRO_LIVENESS_LANES", "0")
+        assert resolve_lanes_mode() == "off"
+        monkeypatch.setenv("REPRO_LIVENESS_LANES", "fallback")
+        assert resolve_lanes_mode() == "py"
+        monkeypatch.delenv("REPRO_LIVENESS_LANES")
+        assert resolve_lanes_mode() == "on"
+        with pytest.raises(ValueError):
+            resolve_lanes_mode("bogus")
+
+    def test_lanes_off_world_has_no_plane(self):
+        world = FuseWorld(n_nodes=12, seed=3, liveness_lanes="off")
+        assert world.sim.lane_plane is None
+        assert world.overlay.lane_plane is None
+
+
+def _laned_world(n=20, seed=5):
+    """A settled world where every node has been absorbed into a lane."""
+    world = FuseWorld(n_nodes=n, seed=seed, liveness_lanes=True)
+    world.bootstrap()
+    # Every first sweep fires within one ping period; the sweep absorbs.
+    world.run_for_minutes(1.5)
+    plane = world.sim.lane_plane
+    assert plane is not None
+    assert plane.lane_count == n, "every idle node should be laned"
+    return world, plane
+
+
+class TestLaneEjection:
+    def test_link_fault_flushes_before_next_lane_step(self):
+        world, plane = _laned_world()
+        flushes = plane.flushes
+        a, b = world.node_ids[0], world.node_ids[1]
+        world.net.faults.block_pair(a, b)
+        # Nothing is ejected until the next micro-event would dispatch...
+        assert plane.lane_count == 20
+        # ...but the advance window containing the next lane step flushes
+        # before dispatching a single micro-event with the stale fault
+        # snapshot (invalidation is checked at every advance() entry).
+        world.run_for_minutes(1.0)
+        assert plane.flushes == flushes + 1
+        # Nodes re-form lanes at their next sweep with fresh snapshots.
+        world.run_for_minutes(1.5)
+        assert plane.lane_count > 0
+
+    def test_loss_change_flushes_before_next_lane_step(self):
+        world, plane = _laned_world()
+        flushes = plane.flushes
+        gen_before = world.topology.generation
+        world.topology.set_uniform_loss(0.05)
+        assert world.topology.generation != gen_before
+        world.run_for_minutes(1.0)
+        assert plane.flushes == flushes + 1
+
+    def test_crash_ejects_synchronously(self):
+        world, plane = _laned_world()
+        victim = world.node_ids[4]
+        node = world.overlay_node(victim)
+        assert plane.is_laned(node)
+        ejects = plane.ejects
+        world.crash(victim)
+        # The crash listener tears the node down, which must eject it
+        # from the plane immediately — not at the next advance window.
+        assert not plane.is_laned(node)
+        assert plane.ejects > ejects
+        # The crashed node's timers were materialized and then cancelled
+        # by the teardown, exactly like the scalar path.
+        assert node._sweep_timer is None or not node._sweep_timer.active
+        assert not node._outstanding_pings
+
+    def test_table_change_ejects(self):
+        world, plane = _laned_world()
+        # A leave triggers table pushes to the departed node's neighbors;
+        # each push ejects that node from its lane.
+        ejects = plane.ejects
+        world.overlay_node(world.node_ids[7]).leave()
+        assert plane.ejects > ejects
+
+    def test_ejected_state_is_scalar_equivalent(self):
+        """After a flush, materialized timers keep working: suspicion of
+        a crashed neighbor still fires through the scalar path."""
+        world, plane = _laned_world()
+        victim = world.node_ids[2]
+        world.crash(victim)
+        world.run_for_minutes(3.0)
+        # Some neighbor must have suspected the victim and reported it.
+        assert world.overlay.member_count < 20
+
+
+class TestCompressedBootstrapJoinsEveryNode:
+    """Satellite regression for the 16k flash-crowd gap: in the
+    compressed join regime the first-sweep floor holds liveness probes
+    until the storm ends, so no joiner is suspected mid-join and
+    ``overlay_members == n_nodes``."""
+
+    def test_compressed_bootstrap_full_membership(self):
+        # 500 nodes is past CLASSIC_BOOTSTRAP_MAX_NODES, so bootstrap
+        # uses the compressed schedule (60 ms spacing).
+        world = FuseWorld(n_nodes=500, seed=7)
+        world.bootstrap()
+        assert world.overlay.member_count == 500
+        spacing = world.default_join_spacing_ms()
+        assert spacing < 200.0
+        assert world.overlay.first_sweep_floor_ms == 500 * spacing
+
+    def test_classic_bootstrap_keeps_floor_at_zero(self):
+        world = FuseWorld(n_nodes=20, seed=7)
+        world.bootstrap()
+        assert world.overlay.first_sweep_floor_ms == 0.0
+        assert world.overlay.member_count == 20
