@@ -71,6 +71,7 @@ class NotificationReason(str, enum.Enum):
     CREATE_FAILED = "create_failed"  # blocking create could not reach a member (§6.2)
     REPAIR_FAILED = "repair_failed"  # repair gave up or found no state (§6.5)
     RECONCILE = "reconcile"  # id-list reconciliation disagreed (§6.3)
+    GRAY_FAIL = "gray_fail"  # detection, and a group member is gray-failed
     FALSE_POSITIVE = "false_positive"  # detection with no fault in the world
     UNKNOWN = "unknown"
 
@@ -422,6 +423,14 @@ class GroupLedger:
                 return NotificationReason.CRASH
             if any(faults.is_disconnected(m) for m in members):
                 return NotificationReason.DISCONNECT
+            if any(faults.is_gray_failed(m) for m in members):
+                # The member answers pings but blackholes application
+                # traffic: detections here come from rpc/repair timeouts,
+                # never from the liveness plane.  Checked after crash and
+                # disconnect (those dominate when combined) and before
+                # the false-positive fallback — a gray member makes the
+                # detection real, not a loss artifact.
+                return NotificationReason.GRAY_FAIL
             if not faults.has_link_faults():
                 return NotificationReason.FALSE_POSITIVE
         return reason

@@ -38,6 +38,12 @@ class Message:
 
     size_bytes: int = 256
 
+    # Liveness-plane messages (overlay pings and their acks) set this True.
+    # Gray failure (FaultInjector.gray_fail) keys on it: a gray node still
+    # receives — and answers — liveness traffic, but every inbound message
+    # of an application class is silently dropped at delivery.
+    is_liveness: bool = False
+
     def __getattr__(self, name: str) -> "Optional[NodeId]":
         # ``sender`` is stamped by the network at send time; before that
         # the slot is unset.  Reading it then must yield None (callers

@@ -63,6 +63,10 @@ class Network:
         self._ctr_transmissions = metrics.counter("net.transmissions")
         self._ctr_breaks = metrics.counter("net.connection_breaks")
         self._msg_type_counters: Dict[str, Counter] = {}
+        # Created on the first gray-failure drop, never at init: the
+        # counter's existence would otherwise show up in metric dumps of
+        # worlds that never used gray failure.
+        self._ctr_gray_drops: Optional[Counter] = None
         self._tracing = sim.trace is not None
         self._clock = sim.clock
         self._queue_push = sim.queue.push
@@ -153,7 +157,13 @@ class Network:
         # group root visible in Fig 8).
         now = self._clock._now
         busy = self._send_busy_until.get(src, now)
-        inject_time = max(now, busy) + self.config.send_overhead_ms
+        overhead = self.config.send_overhead_ms
+        send_factors = self.faults._send_factors
+        if send_factors:
+            factor = send_factors.get(src)
+            if factor is not None:
+                overhead *= factor
+        inject_time = max(now, busy) + overhead
         self._send_busy_until[src] = inject_time
 
         routes = self.routes
@@ -184,6 +194,19 @@ class Network:
     def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:
         receiver = self._hosts[dst]
         if not receiver.alive:
+            return
+        gray = self.faults._gray
+        if gray and dst in gray and not message.is_liveness:
+            # Gray failure: the destination blackholes application traffic
+            # while still answering liveness pings.  Transport has already
+            # "delivered" the packet — no retransmission, no broken socket
+            # — so the sender learns nothing unless its own application
+            # timer (e.g. Host.rpc) expires.  The counter is created
+            # lazily so idle worlds report an unchanged metric set.
+            ctr = self._ctr_gray_drops
+            if ctr is None:
+                ctr = self._ctr_gray_drops = self.sim.metrics.counter("net.gray_drops")
+            ctr.value += 1
             return
         self._ctr_deliveries.value += 1
         receiver.deliver(message)
@@ -249,14 +272,33 @@ class _SendAttemptState:
             return  # sender died mid-send; nothing to do
 
         net._ctr_transmissions.value += 1
-        loss = self.route.current_loss()
-        reachable = net.faults.can_communicate(self.src, self.dst)
+        route = self.route
+        faults = net.faults
+        loss = route.current_loss()
+        reachable = faults.can_communicate(self.src, self.dst)
         dropped = (not reachable) or (net._rng.random() < loss)
+        if not dropped:
+            # Correlated burst loss: advance the Gilbert-Elliott chain of
+            # each bursty link the packet traverses, in route order, until
+            # one eats it.  current_loss() above already refreshed the
+            # route's burst cache against the topology generation, so the
+            # idle cost here is one falsy attribute check.  Chains past
+            # the dropping link do not advance — the packet never reached
+            # them — keeping per-link drop statistics physical.
+            burst = route._cached_burst
+            if burst:
+                rng = net._rng
+                for model in burst:
+                    if model.sample(rng):
+                        dropped = True
+                        break
         tracing = net._tracing
         config = net.config
 
         if not dropped:
-            latency = self.route.current_latency()
+            latency = route.current_latency()
+            if faults._latency_factors:
+                latency *= faults.latency_factor(self.src, self.dst)
             jitter = net._rng.uniform(0.0, config.jitter_fraction) * latency
             extra = 0.0
             if self.first_contact:

@@ -79,6 +79,7 @@ class Route:
         "_cache_generation",
         "_cached_latency",
         "_cached_loss",
+        "_cached_burst",
     )
 
     def __init__(
@@ -104,6 +105,7 @@ class Route:
         self._cache_generation = topology.generation if topology is not None else -1
         self._cached_latency = latency
         self._cached_loss = loss
+        self._cached_burst = self._collect_burst()
 
     @property
     def links(self) -> Tuple[Link, ...]:
@@ -136,8 +138,28 @@ class Route:
         survive *= 1.0 - access_dst.loss
         return total, 1.0 - survive
 
+    def _collect_burst(self) -> Tuple:
+        """Burst-loss models along the route, in traversal order.
+
+        Empty tuple — one falsy attribute check on the send hot path — on
+        the overwhelmingly common burst-free route.
+        """
+        models = []
+        model = self.access_src.burst
+        if model is not None:
+            models.append(model)
+        for link in self.core:
+            model = link.burst
+            if model is not None:
+                models.append(model)
+        model = self.access_dst.burst
+        if model is not None:
+            models.append(model)
+        return tuple(models)
+
     def _refresh_cache(self, generation: int) -> None:
         self._cached_latency, self._cached_loss = self._walk()
+        self._cached_burst = self._collect_burst()
         self._cache_generation = generation
 
     def current_loss(self) -> float:
@@ -157,6 +179,16 @@ class Route:
         if generation != self._cache_generation:
             self._refresh_cache(generation)
         return self._cached_latency
+
+    def current_burst(self) -> Tuple:
+        """Burst models on this route right now (generation-validated)."""
+        topology = self._topology
+        if topology is None:
+            return self._collect_burst()
+        generation = topology.generation
+        if generation != self._cache_generation:
+            self._refresh_cache(generation)
+        return self._cached_burst
 
     def __repr__(self) -> str:
         return (

@@ -13,14 +13,93 @@ End-to-end properties of a route are derived here:
 * loss    = 1 - prod(1 - link_loss) — this is exactly the model behind
   the paper's Fig 11 (0.4 %/0.8 %/1.6 % per-link loss compounding over a
   median 15-hop route into 5.8 %/11.4 %/21.5 % route loss).
+
+On top of the memoryless per-link ``loss``, a link may carry a stateful
+:class:`GilbertElliott` burst model (``link.burst``), giving *correlated*
+loss runs: a route drops packets back to back while any of its links sits
+in the bad state.  Bursts are the adversarial counterpart to Fig 12's
+false-positive analysis — the same average loss rate, concentrated,
+defeats retransmission far more often than independent drops do.
+Bandwidth-contention and latency-inflation windows are node-scoped and
+live in :mod:`repro.net.faults`, not on links.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.address import NodeId
+
+
+def _validate_probability(value: float, what: str, inclusive: bool = False) -> float:
+    """Reject NaN and out-of-range probabilities with a clear error."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise TypeError(f"{what} must be a number, got {value!r}") from None
+    if math.isnan(value):
+        raise ValueError(f"{what} must not be NaN")
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{what} must be in [0, 1]: {value}")
+    elif not 0.0 <= value < 1.0:
+        raise ValueError(f"{what} must be in [0, 1): {value}")
+    return value
+
+
+class GilbertElliott:
+    """Stateful two-state (good/bad) per-link loss model.
+
+    The classic Gilbert-Elliott channel: the link flips between a *good*
+    state (loss ``loss_good``, usually 0) and a *bad* state (loss
+    ``loss_bad``) with per-packet transition probabilities ``p_g2b`` and
+    ``p_b2g``.  Small ``p_b2g`` values yield long correlated loss bursts —
+    the adversarial regime for Fig 12's false-positive bound, because a
+    burst outlasting the retransmission budget breaks connections that a
+    memoryless loss process of the same average rate would spare.
+
+    ``sample`` consumes exactly **two** RNG draws per traversal regardless
+    of state (drop-given-state, then transition), so the draw count — and
+    with it the determinism contract of everything downstream — does not
+    depend on the chain's trajectory.
+    """
+
+    __slots__ = ("p_g2b", "p_b2g", "loss_good", "loss_bad", "bad")
+
+    def __init__(
+        self,
+        p_g2b: float,
+        p_b2g: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.35,
+        start_bad: bool = False,
+    ) -> None:
+        self.p_g2b = _validate_probability(p_g2b, "p_g2b", inclusive=True)
+        self.p_b2g = _validate_probability(p_b2g, "p_b2g", inclusive=True)
+        self.loss_good = _validate_probability(loss_good, "loss_good")
+        self.loss_bad = _validate_probability(loss_bad, "loss_bad")
+        self.bad = bool(start_bad)
+
+    def sample(self, rng) -> bool:
+        """Advance the chain one packet; return True if the packet drops."""
+        if self.bad:
+            drop = rng.random() < self.loss_bad
+            if rng.random() < self.p_b2g:
+                self.bad = False
+        else:
+            drop = rng.random() < self.loss_good
+            if rng.random() < self.p_g2b:
+                self.bad = True
+        return drop
+
+    def __repr__(self) -> str:
+        state = "bad" if self.bad else "good"
+        return (
+            f"GilbertElliott(p_g2b={self.p_g2b}, p_b2g={self.p_b2g}, "
+            f"loss_good={self.loss_good}, loss_bad={self.loss_bad}, state={state})"
+        )
 
 
 class LinkKind(enum.Enum):
@@ -35,18 +114,19 @@ class LinkKind(enum.Enum):
 class Link:
     """One undirected router-level link."""
 
-    __slots__ = ("a", "b", "latency_ms", "kind", "loss")
+    __slots__ = ("a", "b", "latency_ms", "kind", "loss", "burst")
 
     def __init__(self, a: int, b: int, latency_ms: float, kind: LinkKind, loss: float = 0.0) -> None:
         if latency_ms < 0:
             raise ValueError(f"negative link latency: {latency_ms}")
-        if not 0.0 <= loss < 1.0:
-            raise ValueError(f"link loss must be in [0, 1): {loss}")
         self.a = a
         self.b = b
         self.latency_ms = latency_ms
         self.kind = kind
-        self.loss = loss
+        self.loss = _validate_probability(loss, "link loss")
+        #: optional stateful burst-loss model (GilbertElliott) layered on
+        #: top of the memoryless ``loss``; None on the idle/default path.
+        self.burst: Optional[GilbertElliott] = None
 
     def endpoints(self) -> Tuple[int, int]:
         return (self.a, self.b)
@@ -165,8 +245,7 @@ class Topology:
         This is how the Fig 11/12 experiments turn on per-link drops after
         the groups are created ("We then enabled losses...").
         """
-        if not 0.0 <= loss < 1.0:
-            raise ValueError(f"loss must be in [0, 1): {loss}")
+        loss = _validate_probability(loss, "loss")
         wanted = set(kinds) if kinds is not None else None
         for link in self._links.values():
             if wanted is None or link.kind in wanted:
@@ -178,10 +257,67 @@ class Topology:
 
     def set_link_loss(self, link: Link, loss: float) -> None:
         """Set one link's loss probability, invalidating route caches."""
-        if not 0.0 <= loss < 1.0:
-            raise ValueError(f"link loss must be in [0, 1): {loss}")
-        link.loss = loss
+        link.loss = _validate_probability(loss, "link loss")
         self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Correlated (bursty) loss configuration
+    # ------------------------------------------------------------------
+    def set_link_burst(self, link: Link, model: Optional[GilbertElliott]) -> None:
+        """Install (or with ``None`` remove) a stateful burst-loss model on
+        one link, invalidating route caches."""
+        if model is not None and not isinstance(model, GilbertElliott):
+            raise TypeError(f"burst model must be GilbertElliott or None, got {model!r}")
+        link.burst = model
+        self._generation += 1
+
+    def set_uniform_burst(
+        self,
+        p_g2b: float,
+        p_b2g: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.35,
+        kinds: Optional[Sequence[LinkKind]] = None,
+    ) -> int:
+        """Install an independent Gilbert-Elliott chain on every link
+        (optionally filtered by kind), including host access links.
+
+        Each link gets its *own* chain instance — bursts on different
+        links are uncorrelated, as on real paths.  Returns the number of
+        links affected.  Validation happens once, in the model constructor.
+        """
+        wanted = set(kinds) if kinds is not None else None
+        count = 0
+        for link in self._links.values():
+            if wanted is None or link.kind in wanted:
+                link.burst = GilbertElliott(p_g2b, p_b2g, loss_good, loss_bad)
+                count += 1
+        for link in self._host_access.values():
+            if wanted is None or link.kind in wanted:
+                link.burst = GilbertElliott(p_g2b, p_b2g, loss_good, loss_bad)
+                count += 1
+        self._generation += 1
+        return count
+
+    def clear_burst(self) -> int:
+        """Remove every burst-loss model; returns how many were removed."""
+        count = 0
+        for link in self._links.values():
+            if link.burst is not None:
+                link.burst = None
+                count += 1
+        for link in self._host_access.values():
+            if link.burst is not None:
+                link.burst = None
+                count += 1
+        self._generation += 1
+        return count
+
+    @property
+    def burst_link_count(self) -> int:
+        burst = sum(1 for link in self._links.values() if link.burst is not None)
+        burst += sum(1 for link in self._host_access.values() if link.burst is not None)
+        return burst
 
     # ------------------------------------------------------------------
     # Route-derived properties

@@ -16,10 +16,18 @@ its evaluation, and this model reproduces each:
    FUSE interprets this as "the node at the other end is unavailable"
    (§6.1).
 
-Bandwidth is not modeled (matching the paper's simulator).  Per-message
-CPU/serialization overhead *is* modeled, because the paper measured it
-(2.8 ms per send plus 1.1 ms co-location overhead) and attributes the
-Fig 8 latency rise at group sizes 16-32 to serial sends at the root.
+Bandwidth is not modeled as link capacity (matching the paper's
+simulator), but two adversarial extensions stress the same retransmission
+machinery: per-link :class:`repro.net.topology.GilbertElliott` burst
+models make segment drops *correlated* — a bad-state link eats attempt
+after attempt of the same segment, breaking sockets at average loss rates
+Fig 12's memoryless analysis would mask — and node-scoped
+bandwidth-contention windows (:meth:`repro.net.faults.FaultInjector.
+contend_bandwidth`) multiply ``send_overhead_ms``, backing up the
+sender's serialization queue.  Per-message CPU/serialization overhead
+*is* modeled, because the paper measured it (2.8 ms per send plus 1.1 ms
+co-location overhead) and attributes the Fig 8 latency rise at group
+sizes 16-32 to serial sends at the root.
 """
 
 from __future__ import annotations

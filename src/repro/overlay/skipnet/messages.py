@@ -28,6 +28,9 @@ class OverlayPing(Message):
     # Built fresh per send and never touched again by the sender; the
     # dominant steady-state traffic, so it skips the per-send copy.
     copy_on_send = False
+    # Liveness plane: delivered even to gray-failed nodes, which is what
+    # makes gray failure invisible to FUSE's ping-based checking trees.
+    is_liveness = True
 
     def __init__(self, nonce: int, payload: Optional[OverlayPayload] = None) -> None:
         self.nonce = nonce
@@ -43,6 +46,8 @@ class OverlayPingAck(Message):
 
     size_bytes = 64 + 20
     copy_on_send = False
+    # Liveness plane, like OverlayPing: exempt from gray-failure drops.
+    is_liveness = True
 
     def __init__(self, nonce: int, payload: Optional[OverlayPayload] = None) -> None:
         self.nonce = nonce

@@ -13,6 +13,8 @@ Python or loaded from TOML/JSON (:mod:`repro.scenarios.spec`).
 Entry points:
 
 * ``python -m repro.scenarios.run <name|spec.toml>`` — the CLI;
+* ``python -m repro.scenarios.fuzz`` — coverage-guided spec fuzzing
+  over the full track vocabulary (:mod:`repro.scenarios.fuzz`);
 * :func:`execute` — one scenario, one seed, one measurements dict;
 * :func:`run_scenario` — seed replicas through the engine (``jobs`` /
   ``seeds`` exactly as in :mod:`repro.experiments.run`);
@@ -35,7 +37,7 @@ from repro.scenarios.runner import (
     run_scenario_sweep,
     sweep_for,
 )
-from repro.scenarios.spec import SpecError, load, scenario_from_dict
+from repro.scenarios.spec import SpecError, TRACK_KINDS, load, scenario_from_dict
 from repro.scenarios.timeline import (
     MINUTE_MS,
     Phase,
@@ -56,6 +58,7 @@ __all__ = [
     "ScenarioContext",
     "ScenarioResult",
     "SpecError",
+    "TRACK_KINDS",
     "Track",
     "apply_overrides",
     "catalogue",

@@ -1,0 +1,754 @@
+"""Coverage-guided scenario fuzzer: ``python -m repro.scenarios.fuzz``.
+
+The fuzzer hunts the corners no hand-written scenario reaches: it draws
+thousands of seeded random-but-valid specs from the **full** track
+vocabulary (:data:`repro.scenarios.spec.TRACK_KINDS` — partitions,
+asymmetric cuts, intransitive pairs, loss ramps, Gilbert-Elliott bursts,
+latency/bandwidth windows, gray failures, churn), validates each through
+the hard spec loader, executes it, and checks §3's one-way agreement
+against the world's :class:`~repro.fuse.api.GroupLedger`:
+
+* **delivery** — every observable member of every group hit by an
+  injected fault records a notification;
+* **exactly-once** — no duplicate member-level ledger rows;
+* **no spurious** — specs whose faults are all node-scoped (crash /
+  disconnect waves) must produce zero spurious group notifications
+  (path- and performance-fault specs may legitimately brush healthy
+  groups — Fig 12's false positives are the *point* of those tracks);
+* **accounting** — created + failed-create groups add up.
+
+**Coverage guidance.**  Each run's coverage signature is the set of
+``(NotificationReason, phase)`` combinations its ledger recorded.  Specs
+that discover a previously unseen combination enter the seed corpus;
+when unseen *reasons* remain, a fraction of later trials mutate a corpus
+parent — biased toward track kinds known to produce the missing reasons
+— instead of generating from scratch.  The corpus persists across runs
+via ``--corpus`` (JSON), so a nightly job keeps deepening the same
+frontier instead of rediscovering it.
+
+**Shrinking.**  On failure the spec is shrunk to a minimal repro by
+greedy fixpoint: try dropping each track, dropping each phase, halving
+every phase duration, and halving the group count — keeping a candidate
+only if it still validates through the spec loader *and* still violates
+the same invariant categories.  The shrunken spec is written as JSON
+(``--out``), directly replayable with ``python -m repro.scenarios.run``.
+
+Determinism: trial ``i`` is fully determined by ``--seed-base + i`` and
+the coverage state at its batch boundary; batches have a fixed size, so
+results are byte-identical for any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import pathlib
+import random
+import sys
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.fuse.api import NotificationReason
+from repro.scenarios.spec import SpecError, TRACK_KINDS, scenario_from_dict
+from repro.scenarios.timeline import execute_with_context
+
+CoverageKey = Tuple[str, str]  # (NotificationReason.value, phase name)
+
+#: Phase names every generated spec uses (tracks reference them by name).
+WARMUP, FAULT, DRAIN = "warmup", "fault", "drain"
+
+#: Shrinking never takes a phase below this (a zero-length phase hides
+#: the fault it was supposed to host).
+DURATION_FLOOR_MINUTES = 0.25
+
+#: Track kinds that only create load, never faults.
+WORKLOAD_KINDS = frozenset({"groups", "svtree"})
+
+#: Fault kinds that touch *nodes* (crash/disconnect semantics) and
+#: nothing else.  Specs drawing only from these must be spurious-free;
+#: everything else (paths, loss, bursts, perf windows, gray) may
+#: legitimately notify groups its faults brush.
+NODE_SCOPED_KINDS = frozenset(
+    {"disconnect-wave", "crash-recover-wave", "rolling-disconnect", "poisson-churn"}
+)
+
+
+# ----------------------------------------------------------------------
+# Spec generation vocabulary
+# ----------------------------------------------------------------------
+def _mk_disconnect_wave(rng: random.Random) -> Dict[str, Any]:
+    return {"kind": "disconnect-wave", "count": rng.randint(1, 2), "phase": FAULT}
+
+
+def _mk_crash_recover_wave(rng: random.Random) -> Dict[str, Any]:
+    return {
+        "kind": "crash-recover-wave",
+        "count": 2,
+        "crash_phase": FAULT,
+        "recover_phase": DRAIN,
+        "spacing_ms": float(rng.choice([0.0, 200.0])),
+    }
+
+
+def _mk_rolling_disconnect(rng: random.Random) -> Dict[str, Any]:
+    return {
+        "kind": "rolling-disconnect",
+        "count": 2,
+        "phase": FAULT,
+        "interval_minutes": 0.5,
+        "down_minutes": rng.choice([1.5, 2.0]),
+    }
+
+
+def _mk_partition(rng: random.Random) -> Dict[str, Any]:
+    return {"kind": "partition", "phase": FAULT, "fractions": [0.5, 0.5]}
+
+
+def _mk_asymmetric(rng: random.Random) -> Dict[str, Any]:
+    return {
+        "kind": "asymmetric-partition",
+        "phase": FAULT,
+        "fraction": rng.choice([0.4, 0.5]),
+    }
+
+
+def _mk_intransitive(rng: random.Random) -> Dict[str, Any]:
+    return {
+        "kind": "intransitive-pairs",
+        "n_pairs": 1,
+        "phase": FAULT,
+        "detect_minutes": 0.5,
+        "within_groups": True,
+    }
+
+
+def _mk_link_loss(rng: random.Random) -> Dict[str, Any]:
+    return {
+        "kind": "link-loss",
+        "phase": FAULT,
+        "end_loss": rng.choice([0.008, 0.016, 0.04]),
+        "restore_loss": 0.0,
+    }
+
+
+def _mk_burst_loss(rng: random.Random) -> Dict[str, Any]:
+    return {
+        "kind": "burst-loss",
+        "phase": FAULT,
+        "p_g2b": rng.choice([0.02, 0.05]),
+        "p_b2g": rng.choice([0.1, 0.25]),
+        "loss_bad": rng.choice([0.35, 0.6]),
+    }
+
+
+def _mk_latency_inflation(rng: random.Random) -> Dict[str, Any]:
+    # Factors span mild degradation to past-the-ping-timeout adversarial.
+    return {
+        "kind": "latency-inflation",
+        "count": rng.randint(2, 3),
+        "phase": FAULT,
+        "factor": float(rng.choice([4.0, 50.0, 400.0])),
+    }
+
+
+def _mk_bandwidth_contention(rng: random.Random) -> Dict[str, Any]:
+    return {
+        "kind": "bandwidth-contention",
+        "count": rng.randint(2, 3),
+        "phase": FAULT,
+        "factor": float(rng.choice([8.0, 1000.0, 8000.0])),
+    }
+
+
+def _mk_gray_failure(rng: random.Random) -> Dict[str, Any]:
+    return {
+        "kind": "gray-failure",
+        "count": rng.randint(1, 2),
+        "phase": FAULT,
+        "detect_minutes": 0.5,
+    }
+
+
+class _FaultMaker(NamedTuple):
+    make: Callable[[random.Random], Dict[str, Any]]
+    #: NotificationReason values this kind tends to produce — the hint
+    #: table coverage-guided mutation steers by.
+    reasons: FrozenSet[str]
+
+
+FAULT_MAKERS: Dict[str, _FaultMaker] = {
+    "disconnect-wave": _FaultMaker(_mk_disconnect_wave, frozenset({"disconnect"})),
+    "crash-recover-wave": _FaultMaker(_mk_crash_recover_wave, frozenset({"crash"})),
+    "rolling-disconnect": _FaultMaker(_mk_rolling_disconnect, frozenset({"disconnect"})),
+    "partition": _FaultMaker(
+        _mk_partition, frozenset({"link_timeout", "repair_failed", "reconcile"})
+    ),
+    "asymmetric-partition": _FaultMaker(
+        _mk_asymmetric, frozenset({"link_timeout", "repair_failed", "reconcile"})
+    ),
+    "intransitive-pairs": _FaultMaker(_mk_intransitive, frozenset({"signalled"})),
+    "link-loss": _FaultMaker(_mk_link_loss, frozenset({"false_positive"})),
+    "burst-loss": _FaultMaker(_mk_burst_loss, frozenset({"false_positive"})),
+    "latency-inflation": _FaultMaker(
+        _mk_latency_inflation, frozenset({"false_positive"})
+    ),
+    "bandwidth-contention": _FaultMaker(
+        _mk_bandwidth_contention, frozenset({"false_positive"})
+    ),
+    "gray-failure": _FaultMaker(
+        _mk_gray_failure, frozenset({"gray_fail", "signalled"})
+    ),
+}
+
+# Every fault maker must name a registered track kind, and every fault
+# kind in the registry must have a maker (workloads excepted) — keeps
+# the fuzz vocabulary in lockstep with the track vocabulary.
+assert set(FAULT_MAKERS) == set(TRACK_KINDS) - WORKLOAD_KINDS - {"poisson-churn"}, (
+    "fuzz vocabulary out of sync with TRACK_KINDS"
+)
+
+
+def generate_spec(seed: int, quick: bool = True) -> Dict[str, Any]:
+    """One random-but-valid spec dict, fully determined by ``seed``."""
+    rng = random.Random(seed)
+    if quick:
+        n_nodes = rng.choice([12, 14])
+        n_groups = rng.randint(2, 4)
+        group_size = rng.choice([3, 4])
+    else:
+        n_nodes = rng.choice([16, 20, 24])
+        n_groups = rng.randint(4, 8)
+        group_size = rng.choice([3, 4, 5])
+    tracks: List[Dict[str, Any]] = [
+        {"kind": "groups", "n_groups": n_groups, "group_size": group_size}
+    ]
+    kinds = sorted(FAULT_MAKERS)
+    for kind in rng.sample(kinds, rng.randint(1, 2)):
+        tracks.append(FAULT_MAKERS[kind].make(rng))
+    return {
+        "scenario": {"name": f"fuzz-{seed}", "n_nodes": n_nodes, "seed": seed},
+        "phase": [
+            {"name": WARMUP, "minutes": rng.choice([1.0, 1.5])},
+            {"name": FAULT, "minutes": rng.choice([2.0, 3.0]), "measure": True},
+            {"name": DRAIN, "minutes": 8.0},
+        ],
+        "track": tracks,
+    }
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+def spec_fault_kinds(spec: Mapping[str, Any]) -> Set[str]:
+    return {
+        t.get("kind") for t in spec.get("track") or () if t.get("kind") not in WORKLOAD_KINDS
+    }
+
+
+def spec_is_node_only(spec: Mapping[str, Any]) -> bool:
+    """True when every fault track is node-scoped (strict spurious check)."""
+    return spec_fault_kinds(spec) <= NODE_SCOPED_KINDS
+
+
+def check_invariants(spec: Mapping[str, Any], measurements: Mapping[str, Any], ctx) -> List[str]:
+    """One-way agreement violations for one executed spec.
+
+    Each violation string starts with a stable category prefix
+    (``exactly-once:``, ``delivery:``, ``spurious:``, ``accounting:``) —
+    the shrinker keys on the prefix to preserve the failure mode while
+    minimizing.
+    """
+    violations: List[str] = []
+    ledger = ctx.world.ledger
+
+    dupes = [
+        d for d in ledger.duplicates if d.role != "delegate" and d.fuse_id in ctx.groups
+    ]
+    if dupes:
+        violations.append(f"exactly-once: duplicate notifications {dupes[:3]!r}")
+
+    for fid, (_root, members) in ctx.groups.items():
+        if not any(m in ctx.fault_times for m in members) and fid not in ctx.group_fault_times:
+            continue
+        times = ledger.notification_times(fid)
+        missing = [m for m in members if m not in ctx.unobservable and m not in times]
+        if missing:
+            violations.append(f"delivery: group {fid} missed members {missing}")
+
+    if spec_is_node_only(spec) and measurements["spurious_groups"] != 0:
+        violations.append(
+            f"spurious: {measurements['spurious_groups']} group(s) notified "
+            "with only node-scoped faults injected"
+        )
+
+    group_tracks = [t for t in spec.get("track") or () if t.get("kind") == "groups"]
+    if group_tracks and not any(t.get("rate_per_minute") for t in group_tracks):
+        expected = sum(t["n_groups"] for t in group_tracks)
+        total = measurements["groups_created"] + measurements["groups_failed"]
+        if total != expected:
+            violations.append(
+                f"accounting: {total} created+failed groups != {expected} requested"
+            )
+    return violations
+
+
+class FuzzResult(NamedTuple):
+    spec: Dict[str, Any]
+    violations: List[str]
+    coverage: FrozenSet[CoverageKey]
+    measurements: Dict[str, Any]
+
+
+def run_spec(spec: Mapping[str, Any]) -> FuzzResult:
+    """Validate, execute, and invariant-check one spec."""
+    scenario = scenario_from_dict(spec)  # hard validation: bad specs fail loudly
+    measurements, ctx = execute_with_context(scenario)
+    coverage = frozenset(
+        (rec.reason.value, rec.phase) for rec in ctx.world.ledger.notes
+    )
+    violations = check_invariants(spec, measurements, ctx)
+    # Drop the non-JSON-serializable bits before the result crosses a
+    # process boundary (multiprocessing workers return FuzzResults).
+    slim = {
+        k: v for k, v in measurements.items() if isinstance(v, (int, float, str, bool))
+    }
+    return FuzzResult(dict(spec), violations, coverage, slim)
+
+
+def violation_categories(violations: Sequence[str]) -> FrozenSet[str]:
+    return frozenset(v.split(":", 1)[0] for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def shrink_candidates(spec: Mapping[str, Any]):
+    """Yield ``(step_name, candidate_spec)`` reductions, deterministic order.
+
+    Candidates may be invalid (e.g. dropping a phase a track references
+    in a way the loader rejects) — the caller re-validates through
+    :func:`scenario_from_dict` and skips rejects.
+    """
+    tracks = list(spec.get("track") or ())
+    phases = list(spec.get("phase") or ())
+    for i in range(len(tracks)):
+        kind = tracks[i].get("kind", "?")
+        yield (
+            f"drop-track[{i}:{kind}]",
+            {**spec, "track": tracks[:i] + tracks[i + 1 :]},
+        )
+    if len(phases) > 1:
+        for i in range(len(phases)):
+            name = phases[i].get("name", "?")
+            yield (
+                f"drop-phase[{i}:{name}]",
+                {**spec, "phase": phases[:i] + phases[i + 1 :]},
+            )
+    halved = []
+    changed = False
+    for p in phases:
+        minutes = p.get("minutes", 0.0)
+        if minutes / 2.0 >= DURATION_FLOOR_MINUTES:
+            halved.append({**p, "minutes": minutes / 2.0})
+            changed = True
+        else:
+            halved.append(dict(p))
+    if changed:
+        yield ("halve-durations", {**spec, "phase": halved})
+    for i, t in enumerate(tracks):
+        if t.get("kind") == "groups" and t.get("n_groups", 0) > 1:
+            smaller = {**t, "n_groups": t["n_groups"] // 2}
+            yield (
+                f"halve-groups[{i}]",
+                {**spec, "track": tracks[:i] + [smaller] + tracks[i + 1 :]},
+            )
+
+
+def shrink(
+    spec: Mapping[str, Any],
+    still_fails: Callable[[Dict[str, Any]], bool],
+    max_steps: int = 200,
+) -> Tuple[Dict[str, Any], List[str]]:
+    """Greedy fixpoint shrink: apply the first reduction that still fails.
+
+    Every candidate is re-validated through the hard spec loader before
+    being tried; ``still_fails`` decides whether the failure survives.
+    Returns ``(minimal_spec, applied_step_names)``.  The result is
+    1-minimal with respect to :func:`shrink_candidates`: no single
+    further reduction both validates and still fails.
+    """
+    current = copy.deepcopy(dict(spec))
+    steps: List[str] = []
+    progress = True
+    while progress and len(steps) < max_steps:
+        progress = False
+        for name, candidate in shrink_candidates(current):
+            candidate = copy.deepcopy(candidate)
+            try:
+                scenario_from_dict(candidate)
+            except SpecError:
+                continue  # reduction made the spec invalid; skip it
+            if still_fails(candidate):
+                current = candidate
+                steps.append(name)
+                progress = True
+                break
+    return current, steps
+
+
+def default_still_fails(original_categories: FrozenSet[str]) -> Callable[[Dict[str, Any]], bool]:
+    """Predicate preserving the original failure mode during shrinking.
+
+    A candidate "still fails" when it reproduces at least one of the
+    original violation categories; candidates that merely fail some
+    *other* way (or crash) are rejected so the minimal repro demonstrates
+    the same bug the fuzzer found.
+    """
+
+    def predicate(candidate: Dict[str, Any]) -> bool:
+        try:
+            result = run_spec(candidate)
+        except Exception:
+            return False
+        return bool(violation_categories(result.violations) & original_categories)
+
+    return predicate
+
+
+# ----------------------------------------------------------------------
+# Coverage-guided mutation
+# ----------------------------------------------------------------------
+def all_reason_values() -> Set[str]:
+    return {r.value for r in NotificationReason if r is not NotificationReason.UNKNOWN}
+
+
+def mutate_spec(
+    parent: Mapping[str, Any], rng: random.Random, unseen_reasons: Set[str]
+) -> Dict[str, Any]:
+    """Mutate a corpus parent, biased toward tracks hitting unseen reasons."""
+    spec = copy.deepcopy(dict(parent))
+    tracks = list(spec.get("track") or ())
+    fault_indexes = [
+        i for i, t in enumerate(tracks) if t.get("kind") not in WORKLOAD_KINDS
+    ]
+    targeted = sorted(
+        kind for kind, maker in FAULT_MAKERS.items() if maker.reasons & unseen_reasons
+    )
+    present = {t.get("kind") for t in tracks}
+    addable = [k for k in targeted if k not in present] or sorted(
+        set(FAULT_MAKERS) - present
+    )
+
+    ops = ["reseed"]
+    if addable and len(fault_indexes) < 3:
+        ops.append("add-track")
+        ops.append("add-track")  # weight toward widening the vocabulary
+    if len(fault_indexes) >= 2:
+        ops.append("drop-track")
+    if fault_indexes:
+        ops.append("tweak-track")
+    op = rng.choice(ops)
+
+    if op == "add-track":
+        kind = rng.choice(addable)
+        tracks.append(FAULT_MAKERS[kind].make(rng))
+        spec["track"] = tracks
+    elif op == "drop-track":
+        tracks.pop(rng.choice(fault_indexes))
+        spec["track"] = tracks
+    elif op == "tweak-track":
+        index = rng.choice(fault_indexes)
+        kind = tracks[index].get("kind")
+        # Regenerate the track from its maker with fresh randomness —
+        # a structured "tweak every numeric field at once".
+        tracks[index] = FAULT_MAKERS[kind].make(rng)
+        spec["track"] = tracks
+    # Always reseed the world so the mutant explores a different
+    # trajectory even when the structural edit is a no-op.
+    header = dict(spec["scenario"])
+    header["seed"] = rng.randrange(1 << 30)
+    header["name"] = f"{header.get('name', 'fuzz')}-mut"
+    spec["scenario"] = header
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Corpus
+# ----------------------------------------------------------------------
+CORPUS_VERSION = 1
+
+
+def load_corpus(path: pathlib.Path) -> Tuple[List[Dict[str, Any]], Set[CoverageKey]]:
+    """Load (entries, covered) from a corpus file; empty when absent."""
+    if not path.exists():
+        return [], set()
+    data = json.loads(path.read_text())
+    if data.get("version") != CORPUS_VERSION:
+        return [], set()
+    entries = list(data.get("entries") or ())
+    covered: Set[CoverageKey] = set()
+    for entry in entries:
+        covered.update((r, p) for r, p in entry.get("coverage") or ())
+    return entries, covered
+
+
+def save_corpus(path: pathlib.Path, entries: Sequence[Mapping[str, Any]]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"version": CORPUS_VERSION, "entries": list(entries)}, indent=1)
+        + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# The campaign driver
+# ----------------------------------------------------------------------
+#: Trials are scheduled in fixed-size batches; coverage/corpus state only
+#: advances at batch boundaries, so results are identical for any --jobs.
+BATCH_SIZE = 32
+
+#: Fraction of trials that mutate a corpus parent (once a corpus exists
+#: and unseen reasons remain) instead of generating from scratch.
+MUTATE_FRACTION = 0.5
+
+
+def _plan_trial(
+    index: int,
+    seed_base: int,
+    quick: bool,
+    corpus: Sequence[Mapping[str, Any]],
+    covered: Set[CoverageKey],
+) -> Dict[str, Any]:
+    """Deterministically choose generate-vs-mutate for one trial."""
+    seed = seed_base + index
+    unseen = all_reason_values() - {reason for reason, _phase in covered}
+    rng = random.Random(seed * 1_000_003 + 17)
+    if corpus and unseen and rng.random() < MUTATE_FRACTION:
+        parent = corpus[rng.randrange(len(corpus))]["spec"]
+        spec = mutate_spec(parent, rng, unseen)
+        spec["scenario"]["name"] = f"fuzz-{seed}-mut"
+        return spec
+    return generate_spec(seed, quick=quick)
+
+
+def _run_trial(spec: Dict[str, Any]) -> Tuple[Dict[str, Any], List[str], List[CoverageKey]]:
+    """Worker entry point (must stay top-level picklable)."""
+    try:
+        result = run_spec(spec)
+    except Exception as exc:  # a crash is a finding, not a fuzzer abort
+        return spec, [f"exception: {type(exc).__name__}: {exc}"], []
+    return spec, result.violations, sorted(result.coverage)
+
+
+class CampaignResult(NamedTuple):
+    trials: int
+    failures: List[Tuple[Dict[str, Any], List[str]]]
+    covered: Set[CoverageKey]
+    corpus: List[Dict[str, Any]]
+    new_corpus_entries: int
+
+
+def run_campaign(
+    seeds: int,
+    seed_base: int = 0,
+    quick: bool = True,
+    jobs: int = 1,
+    corpus_entries: Optional[List[Dict[str, Any]]] = None,
+    covered: Optional[Set[CoverageKey]] = None,
+    stop_on_failure: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run ``seeds`` trials; returns failures, coverage, and the corpus."""
+    corpus = list(corpus_entries or ())
+    covered = set(covered or ())
+    failures: List[Tuple[Dict[str, Any], List[str]]] = []
+    new_entries = 0
+    pool = None
+    if jobs > 1:
+        import multiprocessing
+
+        pool = multiprocessing.Pool(jobs)
+    try:
+        done = 0
+        while done < seeds:
+            batch_n = min(BATCH_SIZE, seeds - done)
+            specs = [
+                _plan_trial(done + k, seed_base, quick, corpus, covered)
+                for k in range(batch_n)
+            ]
+            if pool is not None:
+                outcomes = pool.map(_run_trial, specs)
+            else:
+                outcomes = [_run_trial(spec) for spec in specs]
+            for spec, violations, coverage in outcomes:
+                if violations:
+                    failures.append((spec, violations))
+                fresh = set(coverage) - covered
+                if fresh:
+                    covered.update(fresh)
+                    corpus.append(
+                        {
+                            "seed": spec["scenario"].get("seed"),
+                            "spec": spec,
+                            "coverage": sorted(set(coverage)),
+                        }
+                    )
+                    new_entries += 1
+            done += batch_n
+            if progress is not None:
+                progress(
+                    f"{done}/{seeds} trials, {len(covered)} reason-phase combos, "
+                    f"{len(failures)} failure(s)"
+                )
+            if failures and stop_on_failure:
+                break
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+    return CampaignResult(done, failures, covered, corpus, new_entries)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios.fuzz",
+        description="Coverage-guided scenario fuzzing over the full track vocabulary.",
+    )
+    parser.add_argument("--seeds", type=int, default=250, help="number of trials")
+    parser.add_argument(
+        "--seed-base", type=int, default=0, help="first trial seed (default 0)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small worlds (12-14 nodes, CI-sized)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (identical results)"
+    )
+    parser.add_argument(
+        "--corpus",
+        type=pathlib.Path,
+        default=None,
+        help="seed-corpus JSON to load and extend (created if missing)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("fuzz-repro.json"),
+        help="where the shrunken failing spec is written (JSON, runnable "
+        "via python -m repro.scenarios.run)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true", help="report the raw failing spec"
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="collect every failure instead of stopping at the first",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable summary on stdout"
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    say = print if not args.json else lambda *a, **k: print(*a, file=sys.stderr, **k)
+
+    corpus_entries: List[Dict[str, Any]] = []
+    covered: Set[CoverageKey] = set()
+    if args.corpus is not None:
+        corpus_entries, covered = load_corpus(args.corpus)
+        if corpus_entries:
+            say(
+                f"corpus: {len(corpus_entries)} entries, "
+                f"{len(covered)} reason-phase combos already covered"
+            )
+
+    result = run_campaign(
+        seeds=args.seeds,
+        seed_base=args.seed_base,
+        quick=args.quick,
+        jobs=args.jobs,
+        corpus_entries=corpus_entries,
+        covered=covered,
+        stop_on_failure=not args.keep_going,
+        progress=lambda msg: say(f"  {msg}"),
+    )
+
+    if args.corpus is not None and result.new_corpus_entries:
+        save_corpus(args.corpus, result.corpus)
+        say(
+            f"corpus: +{result.new_corpus_entries} entries "
+            f"-> {args.corpus} ({len(result.corpus)} total)"
+        )
+
+    reasons_seen = sorted({reason for reason, _phase in result.covered})
+    say(
+        f"fuzz: {result.trials} trial(s), "
+        f"{len(result.covered)} reason-phase combos "
+        f"({', '.join(reasons_seen) or 'none'}), "
+        f"{len(result.failures)} failure(s)"
+    )
+
+    summary: Dict[str, Any] = {
+        "trials": result.trials,
+        "coverage": sorted(result.covered),
+        "failures": [],
+    }
+
+    exit_code = 0
+    if result.failures:
+        exit_code = 1
+        spec, violations = result.failures[0]
+        say(f"FAILURE (seed {spec['scenario'].get('seed')}):")
+        for violation in violations:
+            say(f"  {violation}")
+        repro = spec
+        steps: List[str] = []
+        if not args.no_shrink:
+            say("shrinking...")
+            repro, steps = shrink(
+                spec, default_still_fails(violation_categories(violations))
+            )
+            say(
+                f"  {len(steps)} reduction(s): "
+                f"{len(spec.get('track') or ())} -> {len(repro.get('track') or ())} tracks, "
+                f"{len(spec.get('phase') or ())} -> {len(repro.get('phase') or ())} phases"
+            )
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(repro, indent=1) + "\n")
+        say(f"minimal repro spec -> {args.out}")
+        summary["failures"] = [
+            {
+                "seed": spec["scenario"].get("seed"),
+                "violations": violations,
+                "repro": str(args.out),
+                "shrink_steps": steps,
+            }
+        ]
+
+    if args.json:
+        json.dump(summary, sys.stdout, indent=1)
+        print()
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

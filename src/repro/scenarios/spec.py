@@ -52,10 +52,14 @@ from repro.scenarios.expect import ExpectError, parse_expect
 from repro.scenarios.timeline import Phase, Scenario, Track
 from repro.scenarios.tracks import (
     AsymmetricPartition,
+    BandwidthContention,
+    BurstLoss,
     CrashRecoverWave,
     DisconnectWave,
+    GrayFailure,
     GroupWorkload,
     IntransitivePairs,
+    LatencyInflation,
     LinkLossRamp,
     Partition,
     PoissonChurn,
@@ -75,6 +79,10 @@ TRACK_KINDS: Dict[str, Type[Track]] = {
     "asymmetric-partition": AsymmetricPartition,
     "intransitive-pairs": IntransitivePairs,
     "link-loss": LinkLossRamp,
+    "burst-loss": BurstLoss,
+    "latency-inflation": LatencyInflation,
+    "bandwidth-contention": BandwidthContention,
+    "gray-failure": GrayFailure,
 }
 
 

@@ -633,3 +633,210 @@ class LinkLossRamp(Track):
     def on_phase_end(self, ctx: ScenarioContext, phase: Phase) -> None:
         if phase.name == self.phase and self.restore_loss is not None:
             ctx.world.topology.set_uniform_loss(self.restore_loss)
+
+
+@dataclass
+class BurstLoss(Track):
+    """Gilbert-Elliott correlated loss bursts on every link (adversarial
+    Fig 12).
+
+    At the start of ``phase`` every link gets an independent two-state
+    burst chain (:class:`repro.net.topology.GilbertElliott`): per packet
+    it drops with ``loss_good``/``loss_bad`` depending on state and flips
+    state with ``p_g2b``/``p_b2g``.  Long bad dwells (small ``p_b2g``)
+    concentrate the same average loss into runs that eat a whole
+    retransmission budget — socket breaks, and with them loss-induced
+    false positives, at average rates the memoryless Fig 12 analysis
+    masks.  Bursty links are heterogeneity: the lane plane ejects every
+    absorbed node when the burst installs and refuses re-absorption until
+    ``restore`` clears it at phase end.  Reports ``burst_links``.
+    """
+
+    phase: str
+    p_g2b: float = 0.02
+    p_b2g: float = 0.25
+    loss_good: float = 0.0
+    loss_bad: float = 0.35
+    restore: bool = True
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        ctx.extra["burst_links"] = ctx.world.topology.set_uniform_burst(
+            self.p_g2b, self.p_b2g, self.loss_good, self.loss_bad
+        )
+
+    def on_phase_end(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name == self.phase and self.restore:
+            ctx.world.topology.clear_burst()
+
+
+@dataclass
+class _PerfWindow(Track):
+    """Shared machinery for node-scoped performance-fault windows."""
+
+    count: int
+    phase: str
+    factor: float = 4.0
+    heal_after_minutes: Optional[float] = None
+    nodes: NodeSelector = "all"
+    stream: str = "scenario-perf"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("a performance window needs at least one victim")
+
+    def _apply(self, faults, node: NodeId) -> None:
+        raise NotImplementedError
+
+    def _restore(self, faults, node: NodeId) -> None:
+        raise NotImplementedError
+
+    def _heal(self, ctx: ScenarioContext) -> None:
+        victims = ctx.scratch.pop(("perf", id(self)), None)
+        if victims is not None:
+            faults = ctx.world.net.faults
+            for node in victims:
+                self._restore(faults, node)
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        world = ctx.world
+        pool = resolve_nodes(self.nodes, world.node_ids)
+        victims = ctx.stream(self.stream).sample(pool, self.count)
+        faults = world.net.faults
+        for node in victims:
+            self._apply(faults, node)
+        ctx.scratch[("perf", id(self))] = victims
+        if self.heal_after_minutes is not None:
+            world.sim.call_after(
+                self.heal_after_minutes * MINUTE_MS, lambda: self._heal(ctx)
+            )
+
+    def on_phase_end(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name == self.phase and self.heal_after_minutes is None:
+            self._heal(ctx)
+
+
+@dataclass
+class LatencyInflation(_PerfWindow):
+    """Inflate packet latency to/from ``count`` victims by ``factor``.
+
+    A performance fault, not a reachability fault: every packet still
+    arrives, just late.  Factors large enough to push a ping round trip
+    past the liveness timeout manufacture detections that the ledger
+    classifies ``false_positive`` — no member is crashed, disconnected,
+    or gray, and no path fault exists — which is precisely Fig 12's
+    false-positive bound probed from the timing side instead of the loss
+    side.  The lane plane stays scalar for the duration (inflated timing
+    is per-endpoint heterogeneity).  Victims heal ``heal_after_minutes``
+    into the phase, or at phase end.  Reports ``inflated_nodes``.
+    """
+
+    def _apply(self, faults, node: NodeId) -> None:
+        faults.inflate_latency(node, self.factor)
+
+    def _restore(self, faults, node: NodeId) -> None:
+        faults.restore_latency(node)
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        super().on_phase_start(ctx, phase)
+        if phase.name == self.phase:
+            ctx.extra["inflated_nodes"] = self.count
+
+
+@dataclass
+class BandwidthContention(_PerfWindow):
+    """Multiply ``count`` victims' per-message send overhead by ``factor``.
+
+    Models a congested uplink: the victim's sends serialize ``factor``
+    times slower, so its outbound queue — pings, acks, and FUSE control
+    traffic alike — backs up.  Severe contention delays acks past the
+    ping timeout and manufactures false positives without dropping a
+    packet.  Heals like :class:`LatencyInflation`.  Reports
+    ``contended_nodes``.
+    """
+
+    factor: float = 8.0
+
+    def _apply(self, faults, node: NodeId) -> None:
+        faults.contend_bandwidth(node, self.factor)
+
+    def _restore(self, faults, node: NodeId) -> None:
+        faults.restore_bandwidth(node)
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        super().on_phase_start(ctx, phase)
+        if phase.name == self.phase:
+            ctx.extra["contended_nodes"] = self.count
+
+
+@dataclass
+class GrayFailure(Track):
+    """Gray-fail ``count`` nodes: liveness green, application blackholed.
+
+    The nastiest case in the fault vocabulary: the victim keeps answering
+    overlay pings — FUSE's checking trees stay green, no delegate ever
+    suspects it — while every inbound application-class message is
+    silently dropped (:meth:`FaultInjector.gray_fail`).  Detection must
+    come from the application, exactly §3.4's prescription: for every
+    registered group containing a victim, one *live* member calls
+    SignalFailure after ``detect_minutes`` (its requests to the victim
+    went unanswered).  Victims are unobservable — they cannot receive
+    their own notifications — and groups whose members are all gray are
+    skipped (no live member remains to detect anything).  The signaller's
+    local failure spreads soft notifications through the checking tree;
+    members that cannot reach a gray root harden via member-repair
+    timeouts, so every live member is still notified — the one-way
+    agreement guarantee under a fault the liveness plane cannot see.
+    Heals ``heal_after_minutes`` into the phase, or never (gray nodes
+    stay gray; ``restore=False`` matches a wedged process that nobody
+    restarts).  Reports ``gray_nodes``.
+    """
+
+    count: int
+    phase: str
+    detect_minutes: float = 1.0
+    signal: bool = True
+    heal_after_minutes: Optional[float] = None
+    nodes: NodeSelector = "all"
+    stream: str = "scenario-faults"
+
+    def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
+        if phase.name != self.phase:
+            return
+        world = ctx.world
+        pool = resolve_nodes(self.nodes, world.node_ids)
+        rng = ctx.stream(self.stream)
+        victims = rng.sample(pool, self.count)
+        faults = world.net.faults
+        for victim in victims:
+            ctx.note_fault(victim, observable=False)
+        for victim in victims:
+            faults.gray_fail(victim)
+        ctx.extra["gray_nodes"] = len(victims)
+        gray = set(victims)
+        if self.signal:
+            for fuse_id, (_root, members) in ctx.groups.items():
+                if ctx.world.ledger.status_of(fuse_id) is GroupStatus.NOTIFIED:
+                    continue  # already failed before the gray window
+                if not any(m in gray for m in members):
+                    continue
+                live = [m for m in members if m not in gray]
+                if not live:
+                    continue  # nobody left to detect; delivery is vacuous
+                ctx.expect_group_failure(fuse_id)
+                signaller = rng.choice(live)
+                world.sim.call_after(
+                    self.detect_minutes * MINUTE_MS,
+                    lambda fid=fuse_id, node=signaller: world.fuse(node).signal_failure(fid)
+                    if fid in world.fuse(node).groups
+                    else None,
+                )
+        if self.heal_after_minutes is not None:
+            def heal() -> None:
+                for victim in victims:
+                    faults.gray_recover(victim)
+
+            world.sim.call_after(self.heal_after_minutes * MINUTE_MS, heal)

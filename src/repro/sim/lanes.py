@@ -317,6 +317,17 @@ class LanePlane:
         if node._outstanding_pings:
             return False  # something already in flight: stay scalar
         self._check_invalidations()
+        faults = self._faults
+        if faults.has_perf_faults():
+            # Latency-inflation / bandwidth-contention windows change
+            # packet timing per endpoint — heterogeneity the batched
+            # micro-engine does not model.  Stay scalar until the window
+            # heals (the heal's mutation bump flushes, and absorption
+            # resumes at the next sweep).  Gray failure needs no refusal:
+            # it only drops application-class messages, and the lane plane
+            # replays nothing but liveness pings and acks, which gray
+            # nodes answer by definition.
+            return False
         nbr_ids = node._neighbor_ids()
         if not nbr_ids:
             return False
@@ -344,6 +355,14 @@ class LanePlane:
             route_back = route_cache.get((nbr, src))
             if route_back is None:
                 route_back = routes.route(nbr, src)
+            if route_out.current_burst() or route_back.current_burst():
+                # Stateful (Gilbert-Elliott) loss on either direction:
+                # each traversal advances a per-link Markov chain, so the
+                # lane's memoryless replay would diverge.  Installing a
+                # burst bumps the topology generation, which flushes every
+                # lane (_check_invalidations); this guard keeps the node
+                # from being re-absorbed while the burst is live.
+                return False
             pair = (src, nbr) if src <= nbr else (nbr, src)
             nbr_providers = nbr_node._payload_providers
             nbr_collect = (

@@ -1,151 +1,243 @@
-"""Bounded scenario fuzz: random valid specs must uphold one-way agreement.
+"""Property-based scenario fuzzing via ``repro.scenarios.fuzz``.
 
-The test-sized down payment on the ROADMAP fuzzing item: ~50 seeded
-random-but-valid scenario specs (random phase timelines × random fault
-track combinations from ``TRACK_KINDS``) are generated, loaded through
-the spec loader's hard validation, executed, and checked against the §3
-one-way agreement invariant via the world ledger:
-
-* **delivery** — every observable member of every group hit by a *node*
-  fault (crash / disconnect) records exactly one notification;
-* **exactly-once** — no duplicate member-level ledger rows for any
-  registered group;
-* **no spurious** — when the spec injects only node faults, no group is
-  notified without a fault touching it (path-fault specs — partitions,
-  blocked pairs — may legitimately notify groups their faults brush).
-
-Seeds are fixed, so every generated spec is reproducible: a failure here
-is a real counterexample, shrinkable by re-running its seed.
+The fuzz module is the library behind ``python -m repro.scenarios.fuzz``;
+these tests pin its pieces — deterministic generation over the full track
+vocabulary, the §3 one-way-agreement invariant checker, greedy-fixpoint
+shrinking to a 1-minimal repro, coverage-guided mutation, and the seed
+corpus format — and run a ~100-seed smoke campaign (CI runs 1,000+
+nightly with a cached corpus).
 """
 
+import json
 import random
 
 import pytest
 
-from repro.scenarios import execute_with_context, scenario_from_dict
+from repro.scenarios.fuzz import (
+    FAULT_MAKERS,
+    NODE_SCOPED_KINDS,
+    default_still_fails,
+    generate_spec,
+    load_corpus,
+    main,
+    mutate_spec,
+    run_campaign,
+    run_spec,
+    save_corpus,
+    shrink,
+    shrink_candidates,
+    spec_is_node_only,
+    violation_categories,
+)
+from repro.scenarios.spec import SpecError, TRACK_KINDS, scenario_from_dict
 
-N_SPECS = 50
-
-#: fault-track generators; (kind is "path" when it cuts links rather
-#: than nodes — path faults exempt the strict spurious check)
-def _disconnect_wave(rng, fault, drain):
-    return {"kind": "disconnect-wave", "count": rng.randint(1, 2), "phase": fault}, False
-
-
-def _crash_recover_wave(rng, fault, drain):
-    return (
-        {
-            "kind": "crash-recover-wave",
-            "count": 2,
-            "crash_phase": fault,
-            "recover_phase": drain,
-            "spacing_ms": float(rng.choice([0.0, 200.0])),
-        },
-        False,
-    )
+SMOKE_SEEDS = 96
 
 
-def _partition(rng, fault, drain):
-    return (
-        {"kind": "partition", "phase": fault, "fractions": [0.5, 0.5]},
-        True,
-    )
+class TestSpecGeneration:
+    def test_deterministic(self):
+        assert generate_spec(11) == generate_spec(11)
+        assert generate_spec(11) != generate_spec(12)
 
+    @pytest.mark.parametrize("seed", range(0, 40, 7))
+    def test_generated_specs_validate(self, seed):
+        scenario_from_dict(generate_spec(seed, quick=True))
+        scenario_from_dict(generate_spec(seed, quick=False))
 
-def _asymmetric(rng, fault, drain):
-    return (
-        {"kind": "asymmetric-partition", "phase": fault, "fraction": rng.choice([0.4, 0.5])},
-        True,
-    )
+    def test_vocabulary_covers_every_fault_kind(self):
+        """Every registered fault track kind is drawn by the fuzzer
+        (workloads are the fixed backbone; poisson-churn is exercised by
+        the builtin catalogue and the lane fault matrix instead — its
+        open-ended restarts defeat the delivery invariant's bookkeeping)."""
+        assert set(FAULT_MAKERS) <= set(TRACK_KINDS)
+        missing = set(TRACK_KINDS) - set(FAULT_MAKERS) - {"groups", "svtree"}
+        assert missing == {"poisson-churn"}
 
+    def test_makers_emit_their_kind(self):
+        rng = random.Random(3)
+        for kind, maker in sorted(FAULT_MAKERS.items()):
+            assert maker.make(rng)["kind"] == kind
 
-def _intransitive(rng, fault, drain):
-    return (
-        {
-            "kind": "intransitive-pairs",
-            "n_pairs": 1,
-            "phase": fault,
-            "detect_minutes": 0.5,
-            "within_groups": True,
-        },
-        True,
-    )
-
-
-FAULT_POOL = [
-    _disconnect_wave,
-    _crash_recover_wave,
-    _partition,
-    _asymmetric,
-    _intransitive,
-]
-
-
-def generate_spec(seed: int):
-    """One random-but-valid spec dict; returns (spec, has_path_faults)."""
-    rng = random.Random(seed)
-    fault_minutes = rng.choice([2.0, 3.0])
-    fault, drain = "fault", "drain"
-    tracks = [
-        {
-            "kind": "groups",
-            "n_groups": rng.randint(2, 4),
-            "group_size": rng.choice([3, 4]),
+    def test_node_only_classification(self):
+        node_only = {
+            "track": [
+                {"kind": "groups", "n_groups": 2, "group_size": 3},
+                {"kind": "disconnect-wave", "count": 1, "phase": "fault"},
+            ]
         }
-    ]
-    has_path_faults = False
-    for maker in rng.sample(FAULT_POOL, rng.randint(1, 2)):
-        track, is_path = maker(rng, fault, drain)
-        tracks.append(track)
-        has_path_faults = has_path_faults or is_path
-    spec = {
-        "scenario": {
-            "name": f"fuzz-{seed}",
-            "n_nodes": rng.choice([12, 14]),
-            "seed": seed,
-        },
+        assert spec_is_node_only(node_only)
+        node_only["track"].append({"kind": "gray-failure", "count": 1, "phase": "fault"})
+        assert not spec_is_node_only(node_only)
+        assert NODE_SCOPED_KINDS < set(TRACK_KINDS)
+
+
+class TestSmokeCampaign:
+    """~100 random specs from the full vocabulary uphold one-way
+    agreement: delivery, exactly-once, no spurious for node-only specs,
+    and group accounting."""
+
+    def test_campaign_green_and_covers_reasons(self):
+        result = run_campaign(seeds=SMOKE_SEEDS, quick=True, stop_on_failure=False)
+        assert result.trials == SMOKE_SEEDS
+        assert not result.failures, result.failures[:2]
+        reasons = {reason for reason, _phase in result.covered}
+        # The vocabulary must demonstrably reach beyond plain crashes.
+        assert {"crash", "disconnect", "signalled", "gray_fail"} <= reasons
+        assert result.new_corpus_entries == len(result.corpus) > 0
+
+
+def _silent_gray_spec():
+    """A deliberately failing spec: an unsignalled gray failure is
+    invisible to the liveness plane, so delivery must be violated."""
+    return {
+        "scenario": {"name": "seeded-gray-silent", "n_nodes": 12, "seed": 7},
         "phase": [
-            {"name": "warmup", "minutes": rng.choice([1.0, 1.5])},
-            {"name": fault, "minutes": fault_minutes, "measure": True},
-            {"name": drain, "minutes": 8.0},
+            {"name": "warmup", "minutes": 1.0},
+            {"name": "fault", "minutes": 2.0, "measure": True},
+            {"name": "drain", "minutes": 8.0},
         ],
-        "track": tracks,
+        "track": [
+            {"kind": "groups", "n_groups": 4, "group_size": 4},
+            {"kind": "gray-failure", "count": 1, "phase": "fault", "signal": False},
+            {"kind": "disconnect-wave", "count": 1, "phase": "fault"},
+            {"kind": "latency-inflation", "count": 2, "phase": "fault", "factor": 4.0},
+        ],
     }
-    return spec, has_path_faults
 
 
-@pytest.mark.parametrize("seed", range(N_SPECS))
-def test_fuzzed_spec_upholds_one_way_agreement(seed):
-    spec, has_path_faults = generate_spec(seed)
-    scenario = scenario_from_dict(spec)  # hard validation: bad specs fail loudly
-    measurements, ctx = execute_with_context(scenario)
-    ledger = ctx.world.ledger
+class TestInvariants:
+    def test_silent_gray_violates_delivery(self):
+        result = run_spec(_silent_gray_spec())
+        assert "delivery" in violation_categories(result.violations)
 
-    # Exactly-once: no duplicate member-level rows for registered groups.
-    dupes = [
-        d
-        for d in ledger.duplicates
-        if d.role != "delegate" and d.fuse_id in ctx.groups
-    ]
-    assert not dupes, f"seed {seed}: duplicate notifications {dupes}"
+    def test_clean_spec_has_no_violations(self):
+        result = run_spec(generate_spec(0, quick=True))
+        assert result.violations == []
+        assert result.coverage  # a fuzz trial always records something
 
-    # Delivery: node-faulted groups notify every observable member.
-    for fid, (_root, members) in ctx.groups.items():
-        if not any(m in ctx.fault_times for m in members):
-            continue
-        times = ledger.notification_times(fid)
-        missing = [
-            m for m in members if m not in ctx.unobservable and m not in times
+
+class TestShrinker:
+    def test_candidates_cover_all_reductions(self):
+        names = [name for name, _ in shrink_candidates(_silent_gray_spec())]
+        assert any(n.startswith("drop-track") for n in names)
+        assert any(n.startswith("drop-phase") for n in names)
+        assert "halve-durations" in names
+        assert any(n.startswith("halve-groups") for n in names)
+
+    def test_duration_floor(self):
+        spec = {
+            "scenario": {"name": "floor", "n_nodes": 8, "seed": 0},
+            "phase": [{"name": "fault", "minutes": 0.25, "measure": True}],
+            "track": [{"kind": "groups", "n_groups": 1, "group_size": 3}],
+        }
+        names = [name for name, _ in shrink_candidates(spec)]
+        assert "halve-durations" not in names
+
+    def test_synthetic_predicate_minimal(self):
+        """With an oracle keyed on one track kind, shrink strips
+        everything else and is 1-minimal."""
+        spec = _silent_gray_spec()
+
+        def still_fails(candidate):
+            return any(t["kind"] == "gray-failure" for t in candidate["track"])
+
+        minimal, steps = shrink(spec, still_fails)
+        kinds = [t["kind"] for t in minimal["track"]]
+        assert kinds == ["gray-failure"]
+        assert len(minimal["phase"]) == 1
+        assert minimal["phase"][0]["minutes"] == 0.25
+        assert steps
+        for _name, candidate in shrink_candidates(minimal):
+            try:
+                scenario_from_dict(candidate)
+            except SpecError:
+                continue
+            assert not still_fails(candidate)
+
+    def test_invalid_candidates_are_skipped(self):
+        """Dropping the only phase is rejected by the loader, so the
+        shrinker must keep the spec valid rather than crash."""
+        spec = {
+            "scenario": {"name": "one-phase", "n_nodes": 8, "seed": 0},
+            "phase": [{"name": "fault", "minutes": 0.25, "measure": True}],
+            "track": [{"kind": "groups", "n_groups": 1, "group_size": 3}],
+        }
+        minimal, _steps = shrink(spec, lambda candidate: True)
+        scenario_from_dict(minimal)
+        assert minimal["phase"], "shrinker must never produce a phaseless spec"
+
+    def test_end_to_end_shrinks_seeded_failure(self):
+        """The real runner shrinks the silent-gray repro down to the
+        groups + gray-failure core with a single short phase."""
+        spec = _silent_gray_spec()
+        original = json.loads(json.dumps(spec))
+        minimal, steps = shrink(spec, default_still_fails(frozenset({"delivery"})))
+        assert spec == original, "shrink must not mutate its input"
+        kinds = sorted(t["kind"] for t in minimal["track"])
+        assert kinds == ["gray-failure", "groups"]
+        assert len(minimal["phase"]) == 1
+        assert len(steps) >= 4
+        result = run_spec(minimal)
+        assert "delivery" in violation_categories(result.violations)
+
+
+class TestMutation:
+    def test_mutants_validate_and_reseed(self):
+        parent = generate_spec(5, quick=True)
+        for i in range(20):
+            mutant = mutate_spec(parent, random.Random(i), unseen_reasons={"gray_fail"})
+            scenario_from_dict(mutant)
+            assert mutant["scenario"]["seed"] != parent["scenario"]["seed"]
+
+    def test_bias_toward_unseen_reason_kinds(self):
+        """With gray_fail unseen, add-track mutations should introduce
+        gray-failure tracks far more often than chance."""
+        parent = generate_spec(5, quick=True)
+        added = 0
+        for i in range(200):
+            mutant = mutate_spec(parent, random.Random(i), unseen_reasons={"gray_fail"})
+            kinds = {t["kind"] for t in mutant["track"]}
+            if "gray-failure" in kinds:
+                added += 1
+        assert added > 20
+
+
+class TestCorpus:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        entries = [
+            {"seed": 1, "spec": generate_spec(1), "coverage": [["crash", "fault"]]}
         ]
-        assert not missing, f"seed {seed}: group {fid} missed members {missing}"
+        save_corpus(path, entries)
+        loaded, covered = load_corpus(path)
+        assert loaded == json.loads(json.dumps(entries))
+        assert covered == {("crash", "fault")}
 
-    # No spurious notifications without a fault (strict only for specs
-    # whose faults are node-scoped).
-    if not has_path_faults:
-        assert measurements["spurious_groups"] == 0, (
-            f"seed {seed}: spurious notifications with only node faults"
-        )
-    assert (
-        measurements["groups_created"] + measurements["groups_failed"]
-        == spec["track"][0]["n_groups"]
-    )
+    def test_missing_and_stale_corpora_are_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "absent.json") == ([], set())
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"version": 999, "entries": [{"x": 1}]}))
+        assert load_corpus(stale) == ([], set())
+
+
+class TestCLI:
+    def test_green_run_exits_zero(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.json"
+        code = main(["--seeds", "8", "--quick", "--json", "--corpus", str(corpus)])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["trials"] == 8
+        assert summary["failures"] == []
+        assert corpus.exists()
+
+    def test_jobs_do_not_change_results(self, capsys):
+        main(["--seeds", "16", "--quick", "--json"])
+        serial = capsys.readouterr().out
+        main(["--seeds", "16", "--quick", "--json", "--jobs", "2"])
+        assert capsys.readouterr().out == serial
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--seeds", "0"])
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0"])
