@@ -1,0 +1,239 @@
+"""Parallel-simulation benchmark: windowed execution at paper-plus scale.
+
+Measures the conservative window engine (``repro.engine.windows``) on a
+large steady-state world, comparing ``--workers 1`` against
+``--workers 4`` over the *same* partition plan:
+
+* ``window_wall_seconds`` — wall time of the measured steady window
+  (virtual minutes fixed per scale) under each worker count.
+* ``wall_speedup`` — the honest same-runner wall ratio.  On a
+  single-core runner this is necessarily <= 1.0 (barrier traffic is pure
+  overhead when the workers time-slice one CPU); it is reported, never
+  asserted.
+* ``critical_path.speedup_bound`` — total events divided by the
+  critical-path events (replicated phase + largest partition phase, per
+  window).  This is the machine-independent parallelism the plan
+  exposes: the wall speedup an idealized multi-core runner approaches.
+  The committed >=2.5x claim lives here (see docs/PERFORMANCE.md).
+* ``digest`` — a hash over merged counters, ledger shape, events, and
+  the final clock.  Equal digests across worker counts re-prove the
+  byte-identity contract at benchmark scale on every run.
+
+Each worker configuration is measured in a forked child, so the
+bootstrapped parent world is built once and never mutated (copy-on-write
+keeps the children cheap).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py          # full: 100,000 nodes
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick  # CI: 2,000 nodes
+
+Results merge into repo-root ``BENCH_parallel.json`` per node count, so
+a ``--quick`` run never clobbers the committed 100k baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.world import FuseWorld  # noqa: E402
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+MINUTE_MS = 60_000.0
+
+#: node count -> (groups, group size, settle virtual s, window virtual minutes)
+SCALES = {
+    2000: (40, 6, 10.0, 0.5),
+    100_000: (100, 6, 10.0, 0.5),
+}
+QUICK_N = 2000
+FULL_N = 100_000
+WORKER_COUNTS = (1, 4)
+PARTITIONS = 4
+
+
+def build_world(n: int, seed: int) -> FuseWorld:
+    # Lanes are suspended for the whole partitioned session anyway
+    # (window interleaving would invalidate lane batching), so the bench
+    # builds lanes-off: serial and parallel runs share one engine path.
+    world = FuseWorld(n_nodes=n, seed=seed, liveness_lanes="off")
+    world.bootstrap()
+    return world
+
+
+def digest_world(world: FuseWorld, events: int) -> str:
+    state = {
+        "counters": {
+            name: c.value
+            for name, c in sorted(world.sim.metrics.counters().items())
+        },
+        "creates": len(world.ledger.creates),
+        "notes": len(world.ledger.notes),
+        "duplicates": len(world.ledger.duplicates),
+        "events": events,
+        "clock": world.sim.now,
+    }
+    blob = json.dumps(state, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def measure(world: FuseWorld, workers: int) -> dict:
+    """Run the fixed steady workload under ``workers`` and time the
+    measured window.  Runs inside a forked child; mutates freely."""
+    groups, group_size, settle_s, window_minutes = SCALES[len(world.node_ids)]
+    ids = world.node_ids
+    n = len(ids)
+    timing: dict = {}
+
+    def body(session):
+        for i in range(groups):
+            root = ids[(i * n) // groups]
+            members = [
+                ids[((i * n) // groups + k * 11 + 1) % n]
+                for k in range(group_size - 1)
+            ]
+            world.create_group_sync(root, members)
+        session.run_for(settle_s * 1000.0)  # drain InstallChecking traffic
+        t0 = time.perf_counter()
+        session.run_for(window_minutes * MINUTE_MS)
+        timing["window_wall"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    result = world.run_partitioned(body, workers=workers, partitions=PARTITIONS)
+    total_wall = time.perf_counter() - t0
+    critical = result.critical_path()
+    return {
+        "workers": result.workers,
+        "partitions": result.plan.n_partitions,
+        "lookahead_ms": round(result.plan.lookahead_ms, 3),
+        "windows": result.windows,
+        "window_virtual_minutes": window_minutes,
+        "window_wall_seconds": round(timing["window_wall"], 3),
+        "total_wall_seconds": round(total_wall, 3),
+        "events": result.events,
+        "critical_path": {
+            "total_events": critical["total_events"],
+            "critical_path_events": critical["critical_path_events"],
+            "speedup_bound": round(critical["speedup_bound"], 3),
+        },
+        "digest": digest_world(world, result.events),
+    }
+
+
+def measure_in_child(world: FuseWorld, workers: int) -> dict:
+    """Fork, measure, ship the result dict back over a pipe.  The parent
+    world stays pristine for the next worker count."""
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        status = 0
+        try:
+            payload = json.dumps(measure(world, workers)).encode()
+            while payload:
+                payload = payload[os.write(write_fd, payload):]
+        except BaseException:
+            import traceback
+
+            traceback.print_exc()
+            status = 1
+        finally:
+            os.close(write_fd)
+            os._exit(status)
+    os.close(write_fd)
+    chunks = []
+    while True:
+        chunk = os.read(read_fd, 1 << 16)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    os.close(read_fd)
+    _, exit_status = os.waitpid(pid, 0)
+    if exit_status != 0 or not chunks:
+        raise RuntimeError(f"measurement child failed (workers={workers})")
+    return json.loads(b"".join(chunks))
+
+
+def run_scale(n: int, seed: int) -> dict:
+    gc.collect()
+    t0 = time.perf_counter()
+    world = build_world(n, seed)
+    setup_seconds = time.perf_counter() - t0
+    print(
+        f"[bench_parallel n={n}] setup {setup_seconds:.1f}s, "
+        f"{world.overlay.member_count} members", flush=True,
+    )
+
+    runs = {}
+    for workers in WORKER_COUNTS:
+        run = measure_in_child(world, workers)
+        runs[str(workers)] = run
+        print(
+            f"[bench_parallel n={n}] workers={workers}: window "
+            f"{run['window_wall_seconds']}s wall, {run['windows']} windows, "
+            f"{run['events']} events, speedup_bound "
+            f"{run['critical_path']['speedup_bound']} ({run['digest']})",
+            flush=True,
+        )
+
+    digests = {run["digest"] for run in runs.values()}
+    if len(digests) != 1:
+        raise AssertionError(f"worker counts diverged: {runs}")
+    serial_wall = runs[str(WORKER_COUNTS[0])]["window_wall_seconds"]
+    for run in runs.values():
+        run["wall_speedup"] = round(serial_wall / run["window_wall_seconds"], 3)
+    return {
+        "n_nodes": n,
+        "seed": seed,
+        "setup_seconds": round(setup_seconds, 3),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "identical_across_workers": True,
+        "runs": runs,
+    }
+
+
+def merge_out(path: pathlib.Path, result: dict) -> None:
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data.setdefault("benchmark", "parallel")
+    data.setdefault("scales", {})
+    data["scales"][str(result["n_nodes"])] = result
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI size (2,000 nodes)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    n = QUICK_N if args.quick else FULL_N
+    result = run_scale(n, args.seed)
+    merge_out(args.out, result)
+    bound = result["runs"]["4"]["critical_path"]["speedup_bound"]
+    print(
+        f"[bench_parallel n={n}] identical across workers; "
+        f"critical-path speedup bound {bound}x -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

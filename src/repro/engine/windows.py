@@ -1,0 +1,511 @@
+"""Worker pool and window barrier protocol for parallel simulation.
+
+:func:`run_partitioned` is the entry point: it builds a
+:class:`~repro.sim.parallel.PartitionPlan` for one bootstrapped world,
+forks ``workers - 1`` replicas (the heaps are full of closures, so the
+world travels by fork, not pickle), and runs a caller-supplied ``body``
+callback in *every* process.  The body drives virtual time exclusively
+through :meth:`ParallelSession.run_for`; everything it does between those
+calls (scenario hooks, phase bookkeeping) executes replicated — the same
+Python, the same shared RNG streams — in each worker.  Only
+``run_for`` is divided: the session advances the world in lock-stepped
+conservative windows (see :mod:`repro.sim.parallel` for the invariants),
+exchanging cross-partition deliveries, deferred membership ops and
+per-sender busy state at each barrier over pipes.
+
+The barrier costs one message round-trip per window in the common case:
+the parent piggybacks the next window bounds on the ``apply`` broadcast,
+because with no membership ops in flight it can compute every worker's
+next event horizon from their reported heap minima plus the exchanged
+arrival times.  Windows containing membership ops pay one extra ``min``
+exchange (the ops reshape ring timers unpredictably).  Windows with no
+events anywhere fast-forward: the next window starts at the global
+minimum event time rather than crawling forward lookahead by lookahead.
+
+Single-partition plans short-circuit to the classic serial kernel loop —
+that path is byte-identical to ``world.run_for`` by construction and
+anchors the identity matrix in ``tests/test_parallel_identity.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import traceback
+from multiprocessing import Pipe
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.parallel import (
+    REPLICATED,
+    PartitionPlan,
+    WindowRunner,
+    _DirtyTrackingDict,
+    delivery_sort_key,
+    ring_op_sort_key,
+)
+
+_EPS = 1e-9
+
+
+class ParallelWorkerError(RuntimeError):
+    """A worker process failed; carries the remote traceback."""
+
+
+class ParallelResult:
+    """Merged outcome of a partitioned run (parent process only).
+
+    By the time the caller sees this, the parent's ``world`` has already
+    been patched into the canonical merged state: ledger lists replaced
+    and re-indexed, counters and ``events_dispatched`` folded.  The
+    fields here add the parallel-only views on top.
+    """
+
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        workers: int,
+        stream: Optional[List[Tuple[int, int, float, str]]],
+        window_counts: List[Dict[int, int]],
+        call_partitioned_deltas: List[Dict[str, float]],
+        events: int,
+    ) -> None:
+        self.plan = plan
+        self.workers = workers
+        #: canonical merged event stream ``(window, context, when, label)``
+        #: when record_stream was requested; None otherwise.
+        self.stream = stream
+        #: per window: dispatch count per context (REPLICATED or partition).
+        self.window_counts = window_counts
+        #: per ``run_for`` call: summed partitioned counter deltas from the
+        #: *other* workers (the parent's own are already in its registry).
+        self.call_partitioned_deltas = call_partitioned_deltas
+        #: merged total events dispatched (equals world.sim.events_dispatched).
+        self.events = events
+
+    @property
+    def windows(self) -> int:
+        return len(self.window_counts)
+
+    def critical_path(self) -> Dict[str, float]:
+        """Idealized speedup bound from the window dispatch profile.
+
+        Serial cost of a window is all its events; parallel cost is the
+        replicated phase plus the busiest partition (partitions run
+        concurrently).  The ratio is the speedup a perfectly parallel
+        runner would reach with this plan on unlimited cores — the
+        honest companion to wall-clock numbers on shared/small runners.
+        """
+        total = 0
+        critical = 0
+        for counts in self.window_counts:
+            r = counts.get(REPLICATED, 0)
+            parts = [v for k, v in counts.items() if k != REPLICATED]
+            total += r + sum(parts)
+            critical += r + (max(parts) if parts else 0)
+        return {
+            "total_events": total,
+            "critical_path_events": critical,
+            "speedup_bound": (total / critical) if critical else 1.0,
+        }
+
+
+class ParallelSession:
+    """One process's handle on a partitioned run (parent or child)."""
+
+    def __init__(
+        self,
+        world,
+        plan: PartitionPlan,
+        worker_index: int,
+        workers: int,
+        conns: Optional[List[Any]] = None,
+        conn: Optional[Any] = None,
+        pids: Optional[List[int]] = None,
+        record_stream: bool = False,
+    ) -> None:
+        self.world = world
+        self.plan = plan
+        self.worker_index = worker_index
+        self.workers = workers
+        self.conns = conns or []
+        self.conn = conn
+        self.pids = pids or []
+        self.is_parent = worker_index == 0
+        owned = [p for p in range(plan.n_partitions) if p % workers == worker_index]
+        self.runner = WindowRunner(world, plan, owned, record_stream=record_stream)
+        #: per run_for call: this worker's partitioned counter deltas.
+        self.call_deltas: List[Dict[str, float]] = []
+        self._serial = plan.n_partitions == 1
+        #: window-grid anchor: windows live on the fixed lattice
+        #: ``epoch + k * lookahead``, so boundaries (and the slot labels
+        #: in stream records) are invariant to how minima are discovered.
+        self._epoch = world.sim.now
+
+    # ------------------------------------------------------------------
+    # Virtual-time advancement
+    # ------------------------------------------------------------------
+    def run_for(self, duration_ms: float) -> None:
+        sim = self.world.sim
+        end = sim.now + duration_ms
+        if self._serial:
+            sim.run(until=end)
+            self.call_deltas.append({})
+            return
+        runner = self.runner
+        call_mark = dict(runner.partitioned_counter_totals)
+        if self.is_parent:
+            self._parent_run(end)
+        else:
+            self._child_run(end)
+        totals = runner.partitioned_counter_totals
+        self.call_deltas.append(
+            {
+                name: value - call_mark.get(name, 0)
+                for name, value in totals.items()
+                if value != call_mark.get(name, 0)
+            }
+        )
+        runner.sync_dispatch_total()
+
+    def _decide(
+        self, mins: List[Optional[float]], extra: List[float], end: float, now: float
+    ) -> Tuple:
+        values = [m for m in mins if m is not None]
+        values.extend(extra)
+        if not values:
+            return ("end", end)
+        earliest = min(values)
+        if earliest >= end - _EPS:
+            return ("end", end)
+        # Snap to the fixed lookahead grid: the slot containing the
+        # earliest event.  Grid alignment keeps window boundaries — and
+        # hence event-to-window assignment and all same-time tie-breaks —
+        # identical for every worker count, even when a stale replica of
+        # an owner-cancelled event drags the fast-forward to an earlier
+        # (then empty) slot.
+        lookahead = self.plan.lookahead_ms
+        slot = int((earliest - self._epoch) // lookahead)
+        w0 = max(now, self._epoch + slot * lookahead)
+        w1 = min(end, self._epoch + (slot + 1) * lookahead)
+        return ("window", w0, w1, slot)
+
+    def _parent_run(self, end: float) -> None:
+        runner = self.runner
+        conns = self.conns
+        workers = self.workers
+        worker_of = {
+            p: p % workers for p in range(self.plan.n_partitions)
+        }
+        partition_of = self.plan.partition_of_host
+        mins = [runner.next_event_time()]
+        mins.extend(self._recv(conn)[1] for conn in conns)
+        nxt = self._decide(mins, [], end, self.world.sim.now)
+        if nxt[0] == "end":
+            self._broadcast(("end", end))
+            runner.finish_run(end)
+            return
+        self._broadcast(nxt)
+        while True:
+            outs = [runner.run_window(nxt[1], nxt[2], nxt[3])]
+            outs.extend(self._recv(conn)[1] for conn in conns)
+            ring_ops = sorted(
+                (op for out in outs for op in out["ring_ops"]), key=ring_op_sort_key
+            )
+            deliveries = sorted(
+                (d for out in outs for d in out["outbox"]), key=delivery_sort_key
+            )
+            busy: Dict[Any, float] = {}
+            for out in outs:
+                busy.update(out["busy"])
+            per_worker: List[List[Tuple]] = [[] for _ in range(workers)]
+            for d in deliveries:
+                per_worker[worker_of[partition_of[d[2]]]].append(d)
+            if ring_ops:
+                # Membership ops create events at times the parent cannot
+                # predict — apply everywhere, then resynchronize minima.
+                for w, conn in enumerate(conns, start=1):
+                    conn.send(("apply", ring_ops, per_worker[w], busy, "resync"))
+                runner.apply_barrier(ring_ops, per_worker[0], busy)
+                mins = [runner.next_event_time()]
+                mins.extend(self._recv(conn)[1] for conn in conns)
+                nxt = self._decide(mins, [], end, self.world.sim.now)
+                if nxt[0] == "end":
+                    self._broadcast(("end", end))
+                    runner.finish_run(end)
+                    return
+                self._broadcast(nxt)
+            else:
+                heap_mins = [out["heap_min"] for out in outs]
+                arrivals = [d[0] for d in deliveries]
+                nxt = self._decide(heap_mins, arrivals, end, self.world.sim.now)
+                for w, conn in enumerate(conns, start=1):
+                    conn.send(("apply", (), per_worker[w], busy, nxt))
+                runner.apply_barrier((), per_worker[0], busy)
+                if nxt[0] == "end":
+                    runner.finish_run(end)
+                    return
+
+    def _child_run(self, end: float) -> None:
+        runner = self.runner
+        conn = self.conn
+        conn.send(("min", runner.next_event_time()))
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "window":
+                conn.send(("out", runner.run_window(msg[1], msg[2], msg[3])))
+            elif kind == "apply":
+                _, ring_ops, deliveries, busy, nxt = msg
+                runner.apply_barrier(ring_ops, deliveries, busy)
+                if nxt == "resync":
+                    conn.send(("min", runner.next_event_time()))
+                elif nxt[0] == "window":
+                    conn.send(("out", runner.run_window(nxt[1], nxt[2], nxt[3])))
+                else:  # ("end", end)
+                    runner.finish_run(nxt[1])
+                    return
+            else:  # ("end", end)
+                runner.finish_run(msg[1])
+                return
+
+    def _broadcast(self, msg: Tuple) -> None:
+        for conn in self.conns:
+            conn.send(msg)
+
+    def _recv(self, conn) -> Tuple:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            raise ParallelWorkerError("worker pipe closed unexpectedly")
+        if msg[0] == "error":
+            raise ParallelWorkerError(f"worker failed:\n{msg[1]}")
+        return msg
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def _final_payload(self) -> Dict[str, Any]:
+        runner = self.runner
+        ledger = self.world.ledger
+        lists = {
+            "creates": ledger.creates,
+            "notes": ledger.notes,
+            "duplicates": ledger.duplicates,
+        }
+        rows = [
+            (name, partition, lists[name][idx])
+            for name, idx, partition in runner.partitioned_ledger_rows
+        ]
+        return {
+            "counters": dict(runner.partitioned_counter_totals),
+            "call_deltas": self.call_deltas,
+            "ledger_rows": rows,
+            "outcomes": dict(ledger._outcome),
+            "stream": [r for r in runner.stream if r[1] != REPLICATED],
+            "window_counts": runner.window_counts,
+            "dispatched": runner.lifetime_partitioned,
+        }
+
+    def _child_finish(self) -> None:
+        self.conn.send(("final", self._final_payload()))
+        # Parent drains the pipe before waitpid; once the payload is
+        # flushed this replica's job is done.  Never return to caller
+        # code — the parent owns the continuation.
+        self.conn.close()
+        os._exit(0)
+
+    def _parent_finish(self) -> ParallelResult:
+        world = self.world
+        sim = world.sim
+        payloads = []
+        for conn in self.conns:
+            payloads.append(self._recv(conn)[1])
+            conn.close()
+        for pid in self.pids:
+            os.waitpid(pid, 0)
+
+        own = self._final_payload()
+        # Counters: parent already holds replicated + own-partition
+        # increments; fold in the other workers' partitioned deltas.
+        for payload in payloads:
+            for name, delta in payload["counters"].items():
+                sim.metrics.counter(name).value += delta
+        # Ledger: parent rows (replicated + own partitions) plus foreign
+        # partitioned rows, in canonical (when, repr) order.
+        ledger = world.ledger
+        merged = {
+            "creates": list(ledger.creates),
+            "notes": list(ledger.notes),
+            "duplicates": list(ledger.duplicates),
+        }
+        for payload in payloads:
+            for name, _partition, row in payload["ledger_rows"]:
+                merged[name].append(row)
+        ledger.creates[:] = sorted(merged["creates"], key=lambda r: (r.when, repr(r)))
+        ledger.notes[:] = sorted(merged["notes"], key=lambda r: (r.when, repr(r)))
+        ledger.duplicates[:] = sorted(
+            merged["duplicates"], key=lambda r: (r.when, repr(r))
+        )
+        # Group outcomes are recorded once, by the root's partition; take
+        # the earliest record per group across workers (first-write-wins,
+        # matching the serial guard in record_live/record_failed_create).
+        for payload in payloads:
+            for fuse_id, entry in payload["outcomes"].items():
+                existing = ledger._outcome.get(fuse_id)
+                if existing is None or entry[1] < existing[1]:
+                    ledger._outcome[fuse_id] = entry
+        _rebuild_ledger_indices(ledger)
+
+        stream = None
+        if self.runner.record_stream:
+            records = list(self.runner.stream)
+            for payload in payloads:
+                records.extend(payload["stream"])
+            # Stable sort: (window, context) groups order; append order
+            # within each context is already canonical.
+            stream = sorted(records, key=lambda r: (r[0], r[1]))
+
+        window_counts: List[Dict[int, int]] = [
+            dict(c) for c in self.runner.window_counts
+        ]
+        for payload in payloads:
+            for idx, counts in enumerate(payload["window_counts"]):
+                window_counts[idx].update(counts)
+
+        foreign_dispatched = sum(p["dispatched"] for p in payloads)
+        sim._dispatched += foreign_dispatched
+
+        call_deltas: List[Dict[str, float]] = [dict() for _ in self.call_deltas]
+        for payload in payloads:
+            for idx, deltas in enumerate(payload["call_deltas"]):
+                bucket = call_deltas[idx]
+                for name, delta in deltas.items():
+                    bucket[name] = bucket.get(name, 0) + delta
+
+        return ParallelResult(
+            plan=self.plan,
+            workers=self.workers,
+            stream=stream,
+            window_counts=window_counts,
+            call_partitioned_deltas=call_deltas,
+            events=sim.events_dispatched,
+        )
+
+
+def _rebuild_ledger_indices(ledger) -> None:
+    """Recompute the ledger's derived lookup state from the merged lists."""
+    ledger._members = {}
+    for rec in ledger.creates:
+        ledger._members.setdefault(rec.fuse_id, rec.members)
+    ledger._first = {}
+    ledger._times = {}
+    ledger._member_notes = {}
+    ledger._notified_groups = set()
+    for rec in ledger.notes:
+        key = (rec.fuse_id, rec.node)
+        if key not in ledger._first:
+            ledger._first[key] = rec
+        if rec.role != "delegate":
+            ledger._times.setdefault(rec.fuse_id, {}).setdefault(rec.node, rec.when)
+            ledger._member_notes.setdefault(rec.fuse_id, []).append(rec)
+            ledger._notified_groups.add(rec.fuse_id)
+
+
+def run_partitioned(
+    world,
+    body: Callable[[ParallelSession], Any],
+    workers: int = 1,
+    partitions: Optional[int] = None,
+    record_stream: bool = False,
+) -> ParallelResult:
+    """Run ``body`` over ``world`` divided into lock-stepped partitions.
+
+    ``body(session)`` executes in the parent *and* in every forked
+    worker; it must drive virtual time only via ``session.run_for`` and
+    keep everything between those calls deterministic (it is running
+    replicated).  Only the parent returns; workers ship their partition
+    results over a pipe and exit inside this call.
+
+    ``workers`` is the process count, ``partitions`` (default: workers)
+    the partition count — fixing ``partitions`` while varying
+    ``workers`` keeps the window schedule, and therefore every merged
+    artifact, byte-identical across worker counts.
+    """
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    if partitions is None:
+        partitions = workers
+    plan = PartitionPlan.build(world, partitions)
+    workers = min(workers, plan.n_partitions)
+
+    sim = world.sim
+    net = world.net
+    plane = sim.lane_plane
+    # Lanes batch replicated liveness traffic; inside windows every event
+    # must flow through the attributable per-event path, so the plane is
+    # suspended for the session (lane and non-lane dispatch are
+    # byte-identical by the lanes contract, so all lanes modes converge).
+    if plane is not None:
+        plane.suspend()
+    busy_plain = net._send_busy_until
+    net._send_busy_until = _DirtyTrackingDict(busy_plain)
+
+    conns: List[Any] = []
+    pids: List[int] = []
+    child_session: Optional[ParallelSession] = None
+    try:
+        for index in range(1, workers):
+            parent_end, child_end = Pipe(duplex=True)
+            sys.stdout.flush()
+            sys.stderr.flush()
+            pid = os.fork()
+            if pid == 0:
+                for c in conns:
+                    c.close()
+                parent_end.close()
+                child_session = ParallelSession(
+                    world, plan, index, workers,
+                    conn=child_end, record_stream=record_stream,
+                )
+                break
+            child_end.close()
+            conns.append(parent_end)
+            pids.append(pid)
+
+        if child_session is not None:
+            try:
+                body(child_session)
+                child_session._child_finish()
+            except BaseException:
+                try:
+                    child_session.conn.send(("error", traceback.format_exc()))
+                    child_session.conn.close()
+                except Exception:
+                    pass
+                os._exit(1)
+            os._exit(0)  # pragma: no cover - _child_finish never returns
+
+        session = ParallelSession(
+            world, plan, 0, workers,
+            conns=conns, pids=pids, record_stream=record_stream,
+        )
+        try:
+            body(session)
+            return session._parent_finish()
+        except BaseException:
+            for conn in conns:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            for pid in pids:
+                try:
+                    os.waitpid(pid, 0)
+                except ChildProcessError:
+                    pass
+            raise
+    finally:
+        # Parent-only teardown (children exited above).
+        net._send_busy_until = dict(net._send_busy_until)
+        if plane is not None:
+            plane.resume()

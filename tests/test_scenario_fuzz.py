@@ -9,6 +9,7 @@ nightly with a cached corpus).
 """
 
 import json
+import pathlib
 import random
 
 import pytest
@@ -32,6 +33,16 @@ from repro.scenarios.fuzz import (
 from repro.scenarios.spec import SpecError, TRACK_KINDS, scenario_from_dict
 
 SMOKE_SEEDS = 96
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cwd(tmp_path, monkeypatch):
+    """The fuzz CLI's ``--out`` default is a CWD-relative path written on
+    any campaign failure; run every test from a scratch directory so no
+    campaign — green or red — can drop artifacts into the repo tree."""
+    monkeypatch.chdir(tmp_path)
 
 
 class TestSpecGeneration:
@@ -241,3 +252,30 @@ class TestCLI:
             main(["--seeds", "0"])
         with pytest.raises(SystemExit):
             main(["--jobs", "0"])
+
+
+class TestRepoIsolation:
+    """Regression: a fuzz campaign must never write into the repo tree."""
+
+    def test_red_campaign_writes_repro_to_cwd_only(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Force a failing trial through the real CLI (default --out) and
+        check the repro file lands in the scratch CWD, not the repo."""
+        root_before = sorted(p.name for p in REPO_ROOT.iterdir())
+        monkeypatch.setattr(
+            "repro.scenarios.fuzz.generate_spec",
+            lambda seed, quick=False: _silent_gray_spec(),
+        )
+        code = main(["--seeds", "1", "--quick", "--json", "--no-shrink"])
+        capsys.readouterr()
+        assert code == 1
+        assert (tmp_path / "fuzz-repro.json").exists()
+        assert not (REPO_ROOT / "fuzz-repro.json").exists()
+        assert sorted(p.name for p in REPO_ROOT.iterdir()) == root_before
+
+    def test_green_smoke_leaves_repo_tree_clean(self, capsys):
+        root_before = sorted(p.name for p in REPO_ROOT.iterdir())
+        assert main(["--seeds", "4", "--quick", "--json"]) == 0
+        capsys.readouterr()
+        assert sorted(p.name for p in REPO_ROOT.iterdir()) == root_before
