@@ -29,9 +29,9 @@ import dataclasses
 import json
 import pathlib
 import sys
-import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.net.backends.wallclock import wall_seconds
 from repro.experiments import (
     ablation,
     agreement,
@@ -122,9 +122,9 @@ def run_one(
     """Run one experiment; returns (rendered output, result object)."""
     runner, default_cfg, paper_cfg = EXPERIMENTS[name]
     config = paper_cfg() if paper_scale else default_cfg()
-    started = time.time()
+    started = wall_seconds()
     result = runner(config, jobs=jobs, seeds=seeds)
-    elapsed = time.time() - started
+    elapsed = wall_seconds() - started
     if as_json:
         payload = result.result_set.to_json_dict()
         payload["config"] = dataclasses.asdict(config)

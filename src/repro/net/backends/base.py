@@ -1,0 +1,183 @@
+"""The backend seam: abstract Clock/Network contracts plus shared knobs.
+
+Everything above the network — :class:`repro.net.node.Host`,
+:class:`repro.overlay.skipnet.node.OverlayNode`,
+:class:`repro.fuse.service.FuseService`,
+:class:`repro.fuse.api.GroupLedger` — talks to exactly two objects: a
+*kernel* (``sim``: ``now``, ``metrics``, ``rng``, ``call_*`` /
+``schedule_*``) and a *network* (``send``, ``register_host``, ``faults``,
+crash/disconnect wrappers).  This module names those contracts so a second
+backend can bind the same protocol code to real sockets and a wall clock:
+
+* :class:`ClockBase` — the time seam extracted from
+  :mod:`repro.sim.clock`; the simulator's virtual :class:`~repro.sim.clock.Clock`
+  and the asyncio backend's :class:`~repro.net.backends.wallclock.WallClock`
+  both implement it.  Milliseconds everywhere.
+* :class:`NetworkBackend` — the transport seam extracted from
+  :mod:`repro.net.network`; :class:`repro.net.network.Network` (simulated
+  topology + TCP model) and :class:`repro.net.backends.livenet.LiveNetwork`
+  (asyncio UDP datagrams + ack/retry reliability) both implement it.
+* retry/backoff arithmetic and parameter validation shared by
+  :class:`repro.net.transport.TransportConfig` (simulated) and
+  :class:`repro.net.backends.config.LiveTransportConfig` (wire), so the
+  two channels cannot silently drift apart — the validation contract
+  matches :meth:`repro.net.topology.Topology.add_link`'s (reject NaN,
+  infinity, and non-positive values with a clear error).
+
+This module must stay import-light (stdlib only): both
+:mod:`repro.sim.clock` and :mod:`repro.net.transport` import it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+
+# ----------------------------------------------------------------------
+# Shared parameter validation (the Topology.add_link contract)
+# ----------------------------------------------------------------------
+def validate_positive(value: float, what: str) -> float:
+    """Reject NaN, infinity, and non-positive values with a clear error."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise TypeError(f"{what} must be a number, got {value!r}") from None
+    if math.isnan(value):
+        raise ValueError(f"{what} must not be NaN")
+    if math.isinf(value):
+        raise ValueError(f"{what} must be finite: {value}")
+    if value <= 0.0:
+        raise ValueError(f"{what} must be positive: {value}")
+    return value
+
+
+def validate_non_negative(value: float, what: str) -> float:
+    """Reject NaN, infinity, and negative values with a clear error."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise TypeError(f"{what} must be a number, got {value!r}") from None
+    if math.isnan(value):
+        raise ValueError(f"{what} must not be NaN")
+    if math.isinf(value):
+        raise ValueError(f"{what} must be finite: {value}")
+    if value < 0.0:
+        raise ValueError(f"{what} must be non-negative: {value}")
+    return value
+
+
+def validate_fraction(value: float, what: str) -> float:
+    """Reject NaN and values outside [0, 1) with a clear error."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise TypeError(f"{what} must be a number, got {value!r}") from None
+    if math.isnan(value):
+        raise ValueError(f"{what} must not be NaN")
+    if not 0.0 <= value < 1.0:
+        raise ValueError(f"{what} must be in [0, 1): {value}")
+    return value
+
+
+def validate_retry_count(value: int, what: str) -> int:
+    """Reject non-integral or negative retry counts with a clear error."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        try:
+            as_int = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(f"{what} must be an integer, got {value!r}") from None
+        if as_int != value:
+            raise TypeError(f"{what} must be an integer, got {value!r}")
+        value = as_int
+    if value < 0:
+        raise ValueError(f"{what} must be non-negative")
+    return value
+
+
+def retry_schedule_ms(rto_initial_ms: float, rto_backoff: float, max_retries: int) -> List[float]:
+    """Cumulative delay before each retransmission attempt.
+
+    The arithmetic both channels share: attempt k (1-based) fires
+    ``rto_initial * (backoff^0 + ... + backoff^(k-1))`` ms after the
+    original transmission.
+    """
+    delays: List[float] = []
+    rto = rto_initial_ms
+    total = 0.0
+    for _ in range(max_retries):
+        total += rto
+        delays.append(total)
+        rto *= rto_backoff
+    return delays
+
+
+# ----------------------------------------------------------------------
+# The Clock seam
+# ----------------------------------------------------------------------
+class ClockBase:
+    """Monotonic clock measured in milliseconds.
+
+    The simulated clock advances only when the kernel dispatches events;
+    the wall clock advances with real time (scaled).  Consumers must not
+    assume either — they read ``now`` and schedule through the kernel.
+    """
+
+    __slots__ = ()
+
+    @property
+    def now(self) -> float:
+        """Current time in milliseconds."""
+        raise NotImplementedError
+
+    def seconds(self) -> float:
+        """Current time expressed in seconds."""
+        return self.now / 1000.0
+
+
+# ----------------------------------------------------------------------
+# The Network seam
+# ----------------------------------------------------------------------
+class NetworkBackend:
+    """Message fabric contract that hosts and protocol layers rely on.
+
+    Implementations provide, beyond the methods below, two attributes:
+
+    * ``sim`` — the kernel (``now``, ``metrics``, ``rng``, ``call_*``);
+    * ``faults`` — a :class:`repro.net.faults.FaultInjector` (or
+      subclass) consulted on every delivery.
+
+    Delivery semantics both backends guarantee: a sent message either
+    reaches the destination host's handler exactly once, or — when the
+    channel breaks (retries exhausted under loss, partition, crash, or
+    disconnect) — ``on_fail(dst, message)`` runs on the sender.  Messages
+    to a gray-failed destination are acknowledged by transport but never
+    dispatched unless the message class is liveness-exempt
+    (:attr:`repro.net.message.Message.is_liveness`).
+    """
+
+    __slots__ = ()
+
+    def register_host(self, host) -> None:
+        raise NotImplementedError
+
+    def host(self, node_id):
+        raise NotImplementedError
+
+    def hosts(self):
+        raise NotImplementedError
+
+    def send(self, src, dst, message, on_fail: Optional[Callable] = None) -> None:
+        raise NotImplementedError
+
+    def crash_host(self, node_id) -> None:
+        raise NotImplementedError
+
+    def recover_host(self, node_id) -> None:
+        raise NotImplementedError
+
+    def disconnect_host(self, node_id) -> None:
+        raise NotImplementedError
+
+    def reconnect_host(self, node_id) -> None:
+        raise NotImplementedError

@@ -1,0 +1,69 @@
+"""Wall-clock implementation of the Clock seam.
+
+This module is the *only* sanctioned home of wall-clock reads in
+``src/repro`` outside this package: everything else measures time through
+a :class:`repro.net.backends.base.ClockBase`, which is what keeps the
+simulated backend deterministic (``tests/test_time_purity.py`` enforces
+this with a grep over the source tree).
+
+Two exports:
+
+* :class:`WallClock` — maps a monotonic wall-time source onto virtual
+  milliseconds with a configurable compression factor, so live runs can
+  execute a 60 s ping period in, say, 1.2 s of real time while every
+  protocol timer still reads the same virtual numbers as the simulator.
+* :func:`wall_seconds` — the plain "how long did this take" reading used
+  by CLI reporting (``scenarios/run.py``, ``experiments/run.py``); going
+  through this helper keeps those call sites visible at the seam.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.net.backends.base import ClockBase, validate_positive
+
+
+def wall_seconds() -> float:
+    """Wall time in seconds, for elapsed-time reporting in CLIs."""
+    return time.time()
+
+
+class WallClock(ClockBase):
+    """Wall-anchored clock reporting *virtual* milliseconds.
+
+    ``time_scale`` is wall seconds per virtual second: 1.0 runs in real
+    time, 0.02 compresses a virtual minute into 1.2 wall seconds.  The
+    origin is fixed at construction, so virtual time is continuous across
+    event-loop pauses — harness work between ``run_for`` windows shows up
+    as virtual idle time, exactly like a process stall on a real host
+    (documented in docs/BACKENDS.md under known deviations).
+    """
+
+    __slots__ = ("_time_fn", "_scale", "_origin")
+
+    def __init__(
+        self,
+        time_scale: float = 1.0,
+        time_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._scale = validate_positive(time_scale, "time_scale")
+        self._time_fn = time_fn
+        self._origin = time_fn()
+
+    @property
+    def time_scale(self) -> float:
+        return self._scale
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return (self._time_fn() - self._origin) * 1000.0 / self._scale
+
+    def wall_delay_s(self, virtual_ms: float) -> float:
+        """Wall seconds corresponding to ``virtual_ms`` of virtual time."""
+        return virtual_ms / 1000.0 * self._scale
+
+    def __repr__(self) -> str:
+        return f"WallClock(now={self.now:.1f}ms, time_scale={self._scale})"

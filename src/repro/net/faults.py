@@ -326,10 +326,16 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Snapshot / restore (fuzz trials, nested fault windows)
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self, topology=None) -> Dict[str, object]:
         """Deep copy of the complete fault state, restorable later.  The
-        returned dict is detached: further mutations do not leak into it."""
-        return {
+        returned dict is detached: further mutations do not leak into it.
+
+        Pass the world's :class:`repro.net.topology.Topology` to also
+        capture per-link burst-chain state (parameters and the good/bad
+        bit) — bursty loss lives on the topology, and without it a
+        snapshot of a gray-failed world under burst loss silently drops
+        the burst half on restore."""
+        snap: Dict[str, object] = {
             "crashed": set(self._crashed),
             "disconnected": set(self._disconnected),
             "blocked_pairs": set(self._blocked_pairs),
@@ -340,11 +346,19 @@ class FaultInjector:
             "latency_factors": dict(self._latency_factors),
             "send_factors": dict(self._send_factors),
         }
+        if topology is not None:
+            snap["burst"] = topology.burst_snapshot()
+        return snap
 
-    def restore(self, snapshot: Dict[str, object]) -> None:
+    def restore(self, snapshot: Dict[str, object], topology=None) -> None:
         """Replace the complete fault state with a prior :meth:`snapshot`,
         in one mutation bump.  Families absent from the snapshot (one
-        taken before they existed) reset to empty rather than surviving."""
+        taken before they existed) reset to empty rather than surviving.
+
+        Pass the same ``topology`` given to :meth:`snapshot` to also
+        restore burst-chain state; a topology with no ``burst`` family in
+        the snapshot has its chains cleared (reset-absent semantics,
+        matching every other family)."""
         self._crashed = set(snapshot.get("crashed", ()))
         self._disconnected = set(snapshot.get("disconnected", ()))
         self._blocked_pairs = set(snapshot.get("blocked_pairs", ()))
@@ -354,6 +368,8 @@ class FaultInjector:
         self._gray = set(snapshot.get("gray", ()))
         self._latency_factors = dict(snapshot.get("latency_factors", {}))
         self._send_factors = dict(snapshot.get("send_factors", {}))
+        if topology is not None:
+            topology.restore_burst(snapshot.get("burst", {}))
         self._mutations += 1
 
     def __repr__(self) -> str:

@@ -14,6 +14,7 @@ import copy
 from typing import Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.net.address import NodeId
+from repro.net.backends.base import NetworkBackend
 from repro.net.faults import FaultInjector
 from repro.net.message import Message
 from repro.net.routing import RouteTable
@@ -28,8 +29,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 FailureCallback = Callable[[NodeId, Message], None]
 
 
-class Network:
-    """Message fabric connecting :class:`repro.net.node.Host` objects."""
+class Network(NetworkBackend):
+    """Message fabric connecting :class:`repro.net.node.Host` objects.
+
+    The simulated implementation of the network seam
+    (:class:`repro.net.backends.base.NetworkBackend`); the asyncio
+    backend's :class:`repro.net.backends.livenet.LiveNetwork` is the
+    other."""
 
     def __init__(
         self,

@@ -380,6 +380,49 @@ class Topology:
         burst += sum(1 for link in self._host_access.values() if link.burst is not None)
         return burst
 
+    def burst_snapshot(self) -> Dict[Tuple[str, object], Tuple[float, float, float, float, bool]]:
+        """Detached copy of every link's burst-chain configuration *and*
+        chain state (the good/bad bit), router and host-access links both.
+
+        Burst chains live on the topology, not the fault injector, so
+        :meth:`repro.net.faults.FaultInjector.snapshot` alone cannot
+        round-trip a world that combines (say) gray failure with bursty
+        loss — pass the topology to it, or use this pair directly."""
+        out: Dict[Tuple[str, object], Tuple[float, float, float, float, bool]] = {}
+        for key, link in self._links.items():
+            model = link.burst
+            if model is not None:
+                out[("link", key)] = (
+                    model.p_g2b, model.p_b2g, model.loss_good, model.loss_bad, model.bad,
+                )
+        for host, link in self._host_access.items():
+            model = link.burst
+            if model is not None:
+                out[("access", host)] = (
+                    model.p_g2b, model.p_b2g, model.loss_good, model.loss_bad, model.bad,
+                )
+        return out
+
+    def restore_burst(
+        self, snapshot: Dict[Tuple[str, object], Tuple[float, float, float, float, bool]]
+    ) -> None:
+        """Replace every link's burst model with a prior
+        :meth:`burst_snapshot` (links absent from it lose theirs), in one
+        generation bump.  Fresh chain instances are built, so restoring
+        twice from one snapshot yields independent state."""
+        for key, link in self._links.items():
+            link.burst = self._burst_from(snapshot.get(("link", key)))
+        for host, link in self._host_access.items():
+            link.burst = self._burst_from(snapshot.get(("access", host)))
+        self._generation += 1
+
+    @staticmethod
+    def _burst_from(params) -> Optional[GilbertElliott]:
+        if params is None:
+            return None
+        p_g2b, p_b2g, loss_good, loss_bad, bad = params
+        return GilbertElliott(p_g2b, p_b2g, loss_good, loss_bad, start_bad=bad)
+
     # ------------------------------------------------------------------
     # Route-derived properties
     # ------------------------------------------------------------------

@@ -34,6 +34,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.net.backends.base import (
+    retry_schedule_ms,
+    validate_fraction,
+    validate_non_negative,
+    validate_positive,
+    validate_retry_count,
+)
+
 
 @dataclass
 class TransportConfig:
@@ -66,25 +74,24 @@ class TransportConfig:
     the route latency (queueing noise)."""
 
     def __post_init__(self) -> None:
-        if self.max_retries < 0:
-            raise ValueError("max_retries must be non-negative")
-        if self.rto_initial_ms <= 0:
-            raise ValueError("rto_initial_ms must be positive")
+        # Shared validation contract with the live backend's
+        # LiveTransportConfig (repro.net.backends.base): NaN, infinity,
+        # and out-of-range values all fail at construction.
+        self.send_overhead_ms = validate_non_negative(self.send_overhead_ms, "send_overhead_ms")
+        self.recv_overhead_ms = validate_non_negative(self.recv_overhead_ms, "recv_overhead_ms")
+        self.connection_setup_rtts = validate_non_negative(
+            self.connection_setup_rtts, "connection_setup_rtts"
+        )
+        self.max_retries = validate_retry_count(self.max_retries, "max_retries")
+        self.rto_initial_ms = validate_positive(self.rto_initial_ms, "rto_initial_ms")
+        self.rto_backoff = validate_positive(self.rto_backoff, "rto_backoff")
         if self.rto_backoff < 1.0:
             raise ValueError("rto_backoff must be >= 1")
-        if not 0.0 <= self.jitter_fraction < 1.0:
-            raise ValueError("jitter_fraction must be in [0, 1)")
+        self.jitter_fraction = validate_fraction(self.jitter_fraction, "jitter_fraction")
 
     def retry_schedule_ms(self) -> list:
         """Cumulative delay before each retransmission attempt."""
-        delays = []
-        rto = self.rto_initial_ms
-        total = 0.0
-        for _ in range(self.max_retries):
-            total += rto
-            delays.append(total)
-            rto *= self.rto_backoff
-        return delays
+        return retry_schedule_ms(self.rto_initial_ms, self.rto_backoff, self.max_retries)
 
     def worst_case_delivery_extra_ms(self) -> float:
         """Upper bound on retransmission-induced extra delay."""

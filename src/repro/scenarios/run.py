@@ -41,9 +41,9 @@ import argparse
 import json
 import pathlib
 import sys
-import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.net.backends.wallclock import wall_seconds
 from repro.scenarios.builtin import BUILTIN, catalogue
 from repro.scenarios.expect import evaluate_expectations
 from repro.scenarios.runner import apply_overrides, run_scenario, run_scenario_sweep
@@ -167,7 +167,7 @@ def _run_sweep(scenario: Scenario, args) -> int:
 
     totals = {"trials": 0, "notifications_delivered": 0.0, "spurious_groups": 0.0}
     violations: List[str] = []
-    started = time.time()
+    started = wall_seconds()
 
     def sink(trial) -> None:
         totals["trials"] += 1
@@ -202,7 +202,7 @@ def _run_sweep(scenario: Scenario, args) -> int:
     finally:
         if out_file is not None:
             out_file.close()
-    elapsed = time.time() - started
+    elapsed = wall_seconds() - started
     where = f" -> {out_path}" if out_path is not None else ""
     print(
         f"[sweep {scenario.name}: {totals['trials']} shards, "
@@ -234,11 +234,11 @@ def _run_parallel(scenario: Scenario, args) -> int:
     violations: List[str] = []
     records = []
     for seed in seeds:
-        started = time.time()
+        started = wall_seconds()
         out, _ctx, result = execute_parallel(
             scenario, seed=seed, workers=args.workers, partitions=partitions
         )
-        elapsed = time.time() - started
+        elapsed = wall_seconds() - started
         cp = result.critical_path()
         records.append(
             {
@@ -369,11 +369,11 @@ def main(argv=None) -> int:
         parser.error("--partitions only applies together with --workers")
     if args.grid:
         return _run_sweep(scenario, args)
-    started = time.time()
+    started = wall_seconds()
     result = run_scenario(
         scenario, jobs=max(1, args.jobs), seeds=_parse_seeds(args.seeds)
     )
-    elapsed = time.time() - started
+    elapsed = wall_seconds() - started
 
     if args.json:
         payload = result.result_set.to_json_dict()

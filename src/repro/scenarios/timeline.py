@@ -240,15 +240,24 @@ def execute(scenario: Scenario, seed: Optional[int] = None) -> Measurements:
 
 
 def execute_with_context(
-    scenario: Scenario, seed: Optional[int] = None
+    scenario: Scenario,
+    seed: Optional[int] = None,
+    world_factory=None,
 ) -> Tuple[Measurements, ScenarioContext]:
     """:func:`execute`, additionally returning the run's context (world,
     ledger, raw records) for property checks that need more than the flat
-    measurements — the scenario fuzzer and ledger-level assertions."""
-    world = FuseWorld(
-        n_nodes=scenario.n_nodes,
-        seed=scenario.seed if seed is None else seed,
-    )
+    measurements — the scenario fuzzer and ledger-level assertions.
+
+    ``world_factory`` (``(n_nodes, seed) -> world``) swaps the backend the
+    scenario runs on; the default builds a simulated :class:`FuseWorld`.
+    The parity harness (:mod:`repro.scenarios.parity`) passes a factory
+    building a :class:`repro.net.backends.liveworld.LiveWorld` so the same
+    timeline drives real sockets."""
+    run_seed = scenario.seed if seed is None else seed
+    if world_factory is None:
+        world = FuseWorld(n_nodes=scenario.n_nodes, seed=run_seed)
+    else:
+        world = world_factory(scenario.n_nodes, run_seed)
     world.bootstrap()
     ctx = ScenarioContext(world, scenario)
     world.ledger.set_phase("setup")

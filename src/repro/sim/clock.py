@@ -8,10 +8,16 @@ reference to the whole kernel.
 Paper cross-reference: §7.1 — part of the simulator half of the paper's
 dual ModelNet/simulator testbed; all protocol timeouts (§6.3-§6.5) are
 measured against this virtual clock.
+
+This is the simulated implementation of the clock seam
+(:class:`repro.net.backends.base.ClockBase`); the asyncio backend's
+:class:`repro.net.backends.wallclock.WallClock` is the other.
 """
 
+from repro.net.backends.base import ClockBase
 
-class Clock:
+
+class Clock(ClockBase):
     """Monotonic virtual clock measured in milliseconds."""
 
     __slots__ = ("_now",)

@@ -291,3 +291,23 @@ class FuseWorld:
             f"FuseWorld(nodes={len(self.node_ids)}, t={self.sim.now / 1000.0:.1f}s, "
             f"members={self.overlay.member_count})"
         )
+
+
+def make_world(backend: str = "sim", **kwargs):
+    """Build a world on the requested backend with one call.
+
+    ``backend="sim"`` returns a :class:`FuseWorld` on the deterministic
+    simulator; ``backend="live"`` returns a
+    :class:`repro.net.backends.liveworld.LiveWorld` running real asyncio
+    UDP sockets (imported lazily so the simulated path never touches the
+    backend package).  Both accept ``n_nodes``/``seed``/``overlay_config``/
+    ``fuse_config``; backend-specific keywords (``mercator``, ``trace``,
+    ``liveness_lanes`` vs ``time_scale``, ``transport``) pass through.
+    """
+    if backend == "sim":
+        return FuseWorld(**kwargs)
+    if backend == "live":
+        from repro.net.backends.liveworld import LiveWorld
+
+        return LiveWorld(**kwargs)
+    raise ValueError(f"unknown backend {backend!r} (choose 'sim' or 'live')")

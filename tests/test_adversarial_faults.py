@@ -290,6 +290,51 @@ class TestSnapshotRestore:
         faults.restore(snap)
         assert not faults.is_gray_failed(3)
 
+    def test_gray_plus_burst_round_trip(self):
+        """Regression: a snapshot of gray failure combined with bursty
+        loss must round-trip *both* — burst chains live on the topology,
+        and the injector-only snapshot silently dropped them (parameters
+        and the good/bad state bit) on restore."""
+        world = FuseWorld(n_nodes=8, seed=3)
+        faults, topo = world.net.faults, world.topology
+        faults.gray_fail(world.node_ids[2])
+        installed = topo.set_uniform_burst(0.05, 0.4, loss_good=0.0, loss_bad=0.9)
+        assert installed > 0
+        # Drive some chains into the bad state so state (not just config)
+        # is exercised by the round trip.
+        rng = world.sim.rng.stream("test.burst")
+        for link in list(topo.links())[:4]:
+            for _ in range(50):
+                link.burst.sample(rng)
+        snap = faults.snapshot(topology=topo)
+        bad_bits_before = [
+            (key, params[4]) for key, params in sorted(snap["burst"].items(), key=repr)
+        ]
+        assert any(bad for _key, bad in bad_bits_before)
+
+        faults.clear_all()
+        cleared = topo.clear_burst()
+        assert cleared == installed and topo.burst_link_count == 0
+
+        faults.restore(snap, topology=topo)
+        assert faults.is_gray_failed(world.node_ids[2])
+        assert topo.burst_link_count == installed
+        after = faults.snapshot(topology=topo)
+        bad_bits_after = [
+            (key, params[4]) for key, params in sorted(after["burst"].items(), key=repr)
+        ]
+        assert bad_bits_after == bad_bits_before
+
+    def test_restore_without_burst_family_clears_chains(self):
+        """Reset-absent semantics extend to the burst family: restoring a
+        pre-burst snapshot against the topology removes the chains."""
+        world = FuseWorld(n_nodes=8, seed=3)
+        faults, topo = world.net.faults, world.topology
+        snap = faults.snapshot(topology=topo)
+        topo.set_uniform_burst(0.1, 0.5)
+        faults.restore(snap, topology=topo)
+        assert topo.burst_link_count == 0
+
     def test_clear_all_heals_stale_one_way_cuts(self):
         """Regression: healing via clear_all must drop one-way cuts too —
         a stale cut after 'heal everything' silently breaks agreement."""

@@ -1,0 +1,112 @@
+"""LiveTransportConfig validation (the Topology.add_link contract) and
+the retry arithmetic shared between the simulated and wire channels."""
+
+import math
+
+import pytest
+
+from repro.net.backends.base import (
+    retry_schedule_ms,
+    validate_fraction,
+    validate_non_negative,
+    validate_positive,
+    validate_retry_count,
+)
+from repro.net.backends.config import LiveTransportConfig
+from repro.net.transport import TransportConfig
+
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestValidationHelpers:
+    def test_positive_rejects_nan_inf_nonpositive(self):
+        for bad in (NAN, INF, -INF, 0.0, -1.0):
+            with pytest.raises(ValueError):
+                validate_positive(bad, "x")
+        with pytest.raises(TypeError):
+            validate_positive("fast", "x")
+        assert validate_positive(2, "x") == 2.0
+
+    def test_non_negative_allows_zero(self):
+        assert validate_non_negative(0.0, "x") == 0.0
+        for bad in (NAN, INF, -0.5):
+            with pytest.raises(ValueError):
+                validate_non_negative(bad, "x")
+
+    def test_fraction_half_open(self):
+        assert validate_fraction(0.0, "x") == 0.0
+        assert validate_fraction(0.999, "x") == 0.999
+        for bad in (1.0, -0.01, NAN):
+            with pytest.raises(ValueError):
+                validate_fraction(bad, "x")
+
+    def test_retry_count_integral(self):
+        assert validate_retry_count(0, "x") == 0
+        assert validate_retry_count(4, "x") == 4
+        with pytest.raises(ValueError):
+            validate_retry_count(-1, "x")
+        with pytest.raises(TypeError):
+            validate_retry_count(2.5, "x")
+        with pytest.raises(TypeError):
+            validate_retry_count("many", "x")
+
+
+class TestLiveTransportConfig:
+    def test_defaults_valid(self):
+        cfg = LiveTransportConfig()
+        assert cfg.rto_initial_ms == 200.0
+        assert cfg.max_retries == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rto_initial_ms": 0.0},
+            {"rto_initial_ms": -5.0},
+            {"rto_initial_ms": NAN},
+            {"rto_initial_ms": INF},
+            {"rto_backoff": 0.5},
+            {"rto_backoff": NAN},
+            {"max_retries": -1},
+            {"jitter_fraction": 1.0},
+            {"jitter_fraction": NAN},
+            {"path_latency_ms": -1.0},
+            {"path_latency_ms": NAN},
+            {"time_scale": 0.0},
+            {"time_scale": NAN},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            LiveTransportConfig(**kwargs)
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            LiveTransportConfig(rto_initial_ms="fast")
+
+    def test_zero_path_latency_allowed(self):
+        assert LiveTransportConfig(path_latency_ms=0.0).path_latency_ms == 0.0
+
+
+class TestSharedRetryArithmetic:
+    def test_schedule_matches_simulated_transport(self):
+        sim_cfg = TransportConfig(rto_initial_ms=100, rto_backoff=2.0, max_retries=3)
+        live_cfg = LiveTransportConfig(rto_initial_ms=100, rto_backoff=2.0, max_retries=3)
+        assert sim_cfg.retry_schedule_ms() == live_cfg.retry_schedule_ms() == [100, 300, 700]
+        assert (
+            sim_cfg.worst_case_delivery_extra_ms()
+            == live_cfg.worst_case_delivery_extra_ms()
+            == 700
+        )
+
+    def test_zero_retries_empty_schedule(self):
+        assert retry_schedule_ms(200.0, 2.0, 0) == []
+
+    def test_simulated_config_gained_nan_checks(self):
+        """The shared contract hardened TransportConfig too: NaN used to
+        slip through its range checks (NaN compares false everywhere)."""
+        for field in ("rto_initial_ms", "rto_backoff", "jitter_fraction", "send_overhead_ms"):
+            with pytest.raises(ValueError):
+                TransportConfig(**{field: NAN})
+        assert not math.isnan(TransportConfig().rto_initial_ms)

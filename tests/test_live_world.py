@@ -1,0 +1,167 @@
+"""Live backend end-to-end: kernel timer contract, UDP delivery, faults.
+
+These run real sockets and a real event loop under heavy time
+compression (a virtual minute in well under a second of wall clock), so
+they stay tier-1 fast while exercising the genuine wire path.
+"""
+
+import pytest
+
+from repro.net.backends.asynckernel import AsyncioKernel
+from repro.net.backends.liveworld import LiveWorld
+from repro.net.backends.wallclock import WallClock
+
+# Aggressive compression for tests: 1 virtual minute ≈ 0.12 wall seconds.
+SCALE = 0.002
+
+
+@pytest.fixture
+def kernel():
+    k = AsyncioKernel(seed=1, time_scale=SCALE)
+    yield k
+    k.close()
+
+
+class TestWallClock:
+    def test_monotone_and_scaled(self):
+        # First tick is consumed as the origin at construction.
+        ticks = iter([10.0, 10.5, 11.0, 12.0])
+        clock = WallClock(time_scale=0.5, time_fn=lambda: next(ticks))
+        assert clock.now == pytest.approx(1000.0)  # 0.5 wall s = 1 virtual s
+        assert clock.now == pytest.approx(2000.0)
+        assert clock.seconds() == pytest.approx(4.0)
+
+    def test_wall_delay(self):
+        clock = WallClock(time_scale=0.01, time_fn=lambda: 0.0)
+        assert clock.wall_delay_s(60_000.0) == pytest.approx(0.6)
+
+    def test_rejects_bad_scale(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                WallClock(time_scale=bad)
+
+
+class TestAsyncioKernelContract:
+    """The slice of the Simulator surface protocol code relies on.
+
+    Virtual spans are kept large (seconds, not milliseconds): the wall
+    clock keeps running between statements, and at SCALE=0.002 one wall
+    millisecond of Python overhead is half a virtual second.
+    """
+
+    def test_timers_fire_in_order(self, kernel):
+        fired = []
+        kernel.call_after(60_000.0, lambda: fired.append("b"))
+        kernel.call_after(20_000.0, lambda: fired.append("a"))
+        kernel.run_for(120_000.0)
+        assert fired == ["a", "b"]
+        assert kernel.events_dispatched >= 2
+
+    def test_call_at_past_clamps_instead_of_raising(self, kernel):
+        # Deliberate deviation from Simulator.call_at (docs/BACKENDS.md):
+        # on a wall clock "the past" is any instant spent computing.
+        fired = []
+        kernel.call_at(kernel.now - 500.0, lambda: fired.append(1))
+        kernel.run_for(50.0)
+        assert fired == [1]
+
+    def test_negative_delay_still_raises(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.call_after(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            kernel.schedule_after(-1.0, lambda: None)
+
+    def test_cancel_and_active(self, kernel):
+        fired = []
+        handle = kernel.call_after(30_000.0, lambda: fired.append(1))
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+        kernel.run_for(90_000.0)
+        assert fired == []
+
+    def test_reschedule_contract(self, kernel):
+        fired = []
+        handle = kernel.call_after(5_000.0, lambda: fired.append(1))
+        assert handle.reschedule_after(100_000.0) is True
+        kernel.run_for(20_000.0)
+        assert fired == []  # moved past the window
+        kernel.run_for(200_000.0)
+        assert fired == [1]
+        assert handle.reschedule_after(5_000.0) is False  # already fired
+
+    def test_run_until_predicate(self, kernel):
+        state = {"hit": False}
+        kernel.call_after(10_000.0, lambda: state.update(hit=True))
+        assert kernel.run_until(lambda: state["hit"], timeout_ms=100_000.0)
+        assert not kernel.run_until(lambda: False, timeout_ms=5_000.0)
+
+
+class TestLiveWorld:
+    def test_bootstrap_and_group_lifecycle(self):
+        with LiveWorld(n_nodes=6, seed=11, time_scale=SCALE) as world:
+            world.bootstrap(settle_ms=2_000.0)
+            assert world.overlay.member_count == 6
+            fid, status, latency = world.create_group_sync(0, [1, 2])
+            assert status == "ok" and fid is not None
+            assert fid.startswith("fuse-node-00000-")
+            assert latency > 0.0
+            # Real sockets carried the traffic.
+            assert world.sim.metrics.counter("net.deliveries").value > 0
+
+    def test_crash_delivers_notifications_to_survivors(self):
+        with LiveWorld(n_nodes=6, seed=11, time_scale=SCALE) as world:
+            world.bootstrap(settle_ms=2_000.0)
+            fid, status, _ = world.create_group_sync(0, [1, 2])
+            assert status == "ok"
+            world.crash(1)
+            world.sim.run_until(
+                lambda: len(world.ledger.member_notes(fid)) >= 2,
+                timeout_ms=5 * 60_000.0,
+            )
+            notes = world.ledger.member_notes(fid)
+            notified = {rec.node for rec in notes}
+            # One-way agreement: every surviving member hears about it.
+            assert {0, 2} <= notified
+
+    def test_fuse_ids_match_simulated_backend(self):
+        """Deterministic ids are what lets the parity harness join
+        ledgers across backends."""
+        from repro.world import FuseWorld
+
+        sim_world = FuseWorld(n_nodes=6, seed=11)
+        sim_world.bootstrap()
+        sim_fid, sim_status, _ = sim_world.create_group_sync(0, [1, 2])
+        assert sim_status == "ok"
+        with LiveWorld(n_nodes=6, seed=11, time_scale=SCALE) as world:
+            world.bootstrap(settle_ms=2_000.0)
+            live_fid, live_status, _ = world.create_group_sync(0, [1, 2])
+            assert live_status == "ok"
+            assert live_fid == sim_fid
+
+    def test_restart_rejoins_with_fresh_socket(self):
+        with LiveWorld(n_nodes=6, seed=11, time_scale=SCALE) as world:
+            world.bootstrap(settle_ms=2_000.0)
+            port_before = world.net._addrs[3][1]
+            world.crash(3)
+            assert 3 not in world.net._addrs  # socket closed
+            world.restart(3)
+            # The socket reopens as a loop task; drive the loop until the
+            # fresh endpoint is bound, then until membership recovers.
+            assert world.sim.run_until(
+                lambda: 3 in world.net._addrs, timeout_ms=60_000.0
+            )
+            world.sim.run_until(
+                lambda: world.overlay.member_count == 6, timeout_ms=3 * 60_000.0
+            )
+            assert world.overlay.member_count == 6
+            assert world.net._addrs[3][1] != port_before
+
+    def test_partition_breaks_cross_traffic_only(self):
+        with LiveWorld(n_nodes=6, seed=11, time_scale=SCALE) as world:
+            world.bootstrap(settle_ms=2_000.0)
+            world.net.faults.partition([[0, 1, 2], [3, 4, 5]])
+            breaks = world.sim.metrics.counter("net.connection_breaks")
+            world.run_for(3 * 60_000.0)
+            # Cross-partition liveness traffic must break connections.
+            assert breaks.value > 0

@@ -1,0 +1,63 @@
+"""Simulated-time purity lint: no stray wall-clock reads in src/repro.
+
+The determinism story — byte-identical event streams for a fixed seed,
+the cross-mode determinism matrix, the parallel window protocol — rests
+on exactly one rule: protocol and harness code measures time through the
+clock seam (:class:`repro.net.backends.base.ClockBase`), never the wall.
+This test greps the source tree for the three ways wall time leaks in
+(``time.time()``, ``time.monotonic()``, ``asyncio.sleep``) and fails on
+any hit outside the sanctioned home: the live backend package
+(``net/backends/``), which is where the wall-clock :class:`WallClock`
+and the asyncio kernel live by design.
+
+Adding a wall-clock read anywhere else should hurt; route it through
+``repro.net.backends.wallclock.wall_seconds`` (CLI elapsed-time
+reporting) or a ``ClockBase`` instead.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The only package allowed to touch the wall clock or the real loop.
+ALLOWED_PREFIXES = ("net/backends/",)
+
+FORBIDDEN = re.compile(r"time\.time\(\)|time\.monotonic\(\)|asyncio\.sleep")
+
+
+def _is_allowed(rel: str) -> bool:
+    return any(rel.startswith(prefix) for prefix in ALLOWED_PREFIXES)
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir(), f"source tree not found at {SRC}"
+
+
+def test_no_wall_clock_outside_backends():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if _is_allowed(rel):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if FORBIDDEN.search(line):
+                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "wall-clock usage outside net/backends/ (route through "
+        "repro.net.backends.wallclock or a ClockBase):\n" + "\n".join(offenders)
+    )
+
+
+def test_backends_package_is_the_sanctioned_home():
+    """The allowlist must keep pointing at real code — if the backend
+    package moves, the lint must move with it, not rot into a no-op."""
+    assert (SRC / "net" / "backends" / "wallclock.py").is_file()
+    hits = [
+        path
+        for path in (SRC / "net" / "backends").rglob("*.py")
+        if FORBIDDEN.search(path.read_text())
+    ]
+    assert hits, "expected the backend package itself to use wall time"
