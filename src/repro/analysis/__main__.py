@@ -1,0 +1,110 @@
+"""CLI for the determinism-hazard analyzer.
+
+Exit status: 0 when clean, 1 on any unsuppressed finding (unused
+suppressions included — they are findings), 2 on usage errors.  JSON
+output is stable (schema version 1, tested) so CI can archive it as an
+artifact: ``--out`` writes the JSON report to a file regardless of
+``--format``, which is how the ``static-analysis`` job keeps a report
+even on failing runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.analysis.config import DEFAULT_CONFIG
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism-hazard static analysis (rules DH001-DH006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src). Directory "
+        "walks skip tests/data/ fixture snippets; explicit file "
+        "arguments are always analyzed.",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="also write the JSON report to this file",
+    )
+    parser.add_argument(
+        "--strict-dict-order",
+        action="store_true",
+        help="audit mode: treat plain dict iteration as hash-ordered too",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    config = DEFAULT_CONFIG
+    if args.rules:
+        rule_ids = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+        config = replace(config, rules=rule_ids)
+    if args.strict_dict_order:
+        config = replace(config, strict_dict_order=True)
+    paths: List[pathlib.Path] = []
+    for name in args.paths:
+        path = pathlib.Path(name)
+        if not path.exists():
+            print(f"error: no such path: {name}", file=sys.stderr)
+            return 2
+        paths.append(path)
+    try:
+        result = analyze_paths(paths, config=config, root=pathlib.Path.cwd())
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        args.out.write_text(json.dumps(result.to_json_dict(), indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(result.to_json_dict(), indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        summary = ", ".join(
+            f"{rule}={count}" for rule, count in result.by_rule().items()
+        )
+        status = "clean" if result.clean else f"FINDINGS ({summary})"
+        print(
+            f"repro.analysis: {result.files_analyzed} file(s), "
+            f"{len(result.findings)} finding(s), "
+            f"{len(result.suppressed)} suppressed — {status}"
+        )
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""Shared AST plumbing for the determinism rules.
+
+Three reusable pieces:
+
+* :class:`ImportMap` — resolves a ``Name``/``Attribute`` chain to the
+  fully-qualified dotted path it refers to, through ``import x as y`` and
+  ``from x import y as z`` aliases (``np.random.rand`` →
+  ``numpy.random.rand``).
+* :class:`SetTypes` — conservative, function-local inference of which
+  names / ``self`` attributes are set-typed, for the order-escape rule.
+* small predicates (:func:`is_mutable_literal`, :func:`is_constant_name`)
+  shared by the mutable-state rules.
+
+Everything here is deliberately conservative: a name is only called
+set-typed when *every* binding seen for it is a set expression, so the
+rules err toward silence rather than noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+# ---------------------------------------------------------------------------
+# Import-aware dotted-name resolution
+
+
+class ImportMap:
+    """Maps local aliases to fully-qualified dotted module paths."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # "import a.b.c" binds "a" unless aliased.
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative imports never name stdlib hazards
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{module}.{alias.name}" if module else alias.name
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted path for a Name/Attribute chain, or None."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = self.aliases.get(node.id, node.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The bare trailing name of a call target (``a.b.send`` → ``send``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Mutable-literal predicates (DH005 / DH006)
+
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "deque",
+    "Counter",
+    "OrderedDict",
+}
+
+
+def is_mutable_literal(node: ast.AST) -> bool:
+    """A value that is mutable *and* shared if evaluated once (defaults,
+    module level): literals, comprehensions, bare mutable constructors."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def is_constant_name(name: str) -> bool:
+    """ALL_CAPS (and dunder) names are constants by repo convention."""
+    return name == name.upper() or (name.startswith("__") and name.endswith("__"))
+
+
+# ---------------------------------------------------------------------------
+# Set-type inference (DH003)
+
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+_SET_ANNOTATIONS = {"set", "Set", "FrozenSet", "frozenset", "MutableSet", "AbstractSet"}
+
+
+def _annotation_is_set(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):  # Set[int], typing.Set[...]
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].rsplit(".", 1)[-1]
+        return head in _SET_ANNOTATIONS
+    return False
+
+
+class SetTypes:
+    """Which local names / ``self`` attributes are set-typed, per scope.
+
+    ``self`` attributes are inferred class-wide: an attribute counts as a
+    set only when every ``self.x = …`` binding in the class body is a set
+    expression.  Local names likewise must only ever be bound to set
+    expressions within the function.
+    """
+
+    def __init__(self, set_names: Set[str], set_self_attrs: Set[str]) -> None:
+        self.set_names = set_names
+        self.set_self_attrs = set_self_attrs
+
+    def is_set(self, node: ast.AST) -> bool:
+        """Conservative 'this expression is a set' check."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Attribute):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.set_self_attrs
+            )
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and self.is_set(node.func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set(node.left) or self.is_set(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set(node.body) and self.is_set(node.orelse)
+        return False
+
+
+def _assigned_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _assigned_names(elt)
+
+
+def infer_set_types(
+    func: ast.AST, class_set_attrs: Set[str]
+) -> SetTypes:
+    """Fixpoint inference of set-typed locals inside one function."""
+    types = SetTypes(set(), class_set_attrs)
+    bindings: Dict[str, list] = {}
+    # Nested defs are folded into the enclosing scope's bindings — the
+    # conservative disqualification below keeps that from over-reporting.
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in _assigned_names(target):
+                    bindings.setdefault(name, []).append(node.value)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_is_set(node.annotation):
+                types.set_names.add(node.target.id)
+            elif node.value is not None:
+                bindings.setdefault(node.target.id, []).append(node.value)
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = func.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if _annotation_is_set(arg.annotation):
+                types.set_names.add(arg.arg)
+    # Fixpoint over name→name chains (a = set(); b = a; ...).
+    for _ in range(4):
+        changed = False
+        for name, values in bindings.items():
+            if name in types.set_names:
+                continue
+            if values and all(types.is_set(v) for v in values):
+                types.set_names.add(name)
+                changed = True
+        if not changed:
+            break
+    # A name also bound to a non-set expression is disqualified.
+    for name, values in bindings.items():
+        if name in types.set_names and not all(types.is_set(v) for v in values):
+            types.set_names.discard(name)
+    return types
+
+
+def class_set_attrs(cls: ast.ClassDef) -> Set[str]:
+    """``self`` attributes bound only to set expressions anywhere in the
+    class (two passes: collect candidates, then disqualify mixed ones)."""
+    seed = SetTypes(set(), set())
+    bindings: Dict[str, list] = {}
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    bindings.setdefault(target.attr, []).append(node.value)
+    return {
+        attr
+        for attr, values in bindings.items()
+        if values and all(seed.is_set(v) for v in values)
+    }
+
+
+def iter_parents(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    """Child → parent map for context-sensitive rules."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents

@@ -1,0 +1,297 @@
+"""Core of the determinism-hazard analyzer: walk, run rules, audit.
+
+The engine parses each file once, hands the tree to every registered
+rule, then reconciles findings against ``# repro: allow[RULE]`` comments:
+
+* a finding whose line (or the pure-comment line directly above it)
+  carries a matching allow is *suppressed*;
+* an allow that suppressed nothing is itself reported as an
+  ``unused-suppression`` finding — suppressions must not outlive the
+  hazard they excuse;
+* an allow naming a rule id the registry does not know is reported as
+  ``unknown-suppression``.
+
+Files that fail to parse produce a single ``parse-error`` finding rather
+than crashing the run, so one bad file cannot hide findings in others.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutil import ImportMap
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+
+#: The allow-comment syntax: "repro:" then "allow" with one or more
+#: comma-separated rule ids in square brackets (docs/ANALYSIS.md).
+ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-,\s]+)\]")
+
+#: Pseudo-rules emitted by the engine itself (never suppressible).
+AUDIT_RULES = ("unused-suppression", "unknown-suppression", "parse-error")
+
+
+def _comment_lines(source: str):
+    """Yield ``(lineno, comment_text, comment_only_line)`` per comment."""
+    import io
+    import tokenize
+
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            lineno = token.start[0]
+            comment_only = token.line.strip().startswith("#")
+            yield lineno, token.string, comment_only
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One hazard at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: pathlib.Path
+    rel: str  # posix path used for reporting and sanction matching
+    tree: ast.Module
+    lines: Sequence[str]
+    config: AnalysisConfig
+    imports: ImportMap
+
+
+@dataclass
+class FileReport:
+    """Per-file outcome: live findings + suppression accounting."""
+
+    rel: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+
+class Suppressions:
+    """Allow-comments of one file, with used/unused accounting.
+
+    Comments are found with :mod:`tokenize` (not a line regex) so the
+    literal text ``# repro: allow[...]`` inside a docstring — this very
+    engine documents the syntax — is never mistaken for a suppression.
+    """
+
+    def __init__(self, source: str) -> None:
+        # (line, rule) -> used flag; comment-only lines extend their
+        # allowance to the statement on the following line.
+        self.entries: Dict[Tuple[int, str], bool] = {}
+        self._covers: Dict[Tuple[int, str], int] = {}
+        for lineno, text, comment_only in _comment_lines(source):
+            match = ALLOW_RE.search(text)
+            if not match:
+                continue
+            for rule in match.group(1).split(","):
+                rule = rule.strip()
+                if not rule:
+                    continue
+                key = (lineno, rule)
+                self.entries[key] = False
+                self._covers[key] = lineno + 1 if comment_only else lineno
+
+    def try_suppress(self, finding: Finding) -> bool:
+        hit = False
+        for (lineno, rule), _used in self.entries.items():
+            if rule == finding.rule and self._covers[(lineno, rule)] == finding.line:
+                self.entries[(lineno, rule)] = True
+                hit = True
+        return hit
+
+    def audit(
+        self, rel: str, registered: Set[str], active: Set[str]
+    ) -> List[Finding]:
+        """Unknown allows are always findings; unused allows only count
+        against rules that actually ran (a ``--rules DH002`` pass must
+        not condemn a DH004 allow it never evaluated)."""
+        out: List[Finding] = []
+        for (lineno, rule), used in sorted(self.entries.items()):
+            if rule not in registered:
+                out.append(
+                    Finding(
+                        "unknown-suppression",
+                        rel,
+                        lineno,
+                        0,
+                        f"allow[{rule}] names no registered rule",
+                    )
+                )
+            elif rule in active and not used:
+                out.append(
+                    Finding(
+                        "unused-suppression",
+                        rel,
+                        lineno,
+                        0,
+                        f"allow[{rule}] suppressed nothing — remove it or re-justify it",
+                    )
+                )
+        return out
+
+
+def _rel_for(path: pathlib.Path, root: Optional[pathlib.Path]) -> str:
+    try:
+        if root is not None:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        pass
+    return path.as_posix()
+
+
+def iter_python_files(
+    paths: Iterable[pathlib.Path], config: AnalysisConfig
+) -> List[pathlib.Path]:
+    """Expand path arguments into the files to analyze.
+
+    Directories are walked recursively with :attr:`AnalysisConfig.exclude_dirs`
+    applied (this is what keeps deliberately-hazardous ``tests/data/``
+    fixtures out of the clean-run gate); files named *explicitly* bypass
+    the exclusion so tests can point straight at a red fixture.
+    """
+    out: List[pathlib.Path] = []
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not config.is_excluded(sub.as_posix()):
+                    out.append(sub)
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def analyze_file(
+    path: pathlib.Path,
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    root: Optional[pathlib.Path] = None,
+    rules: Optional[Sequence] = None,
+) -> FileReport:
+    """Run every selected rule over one file and reconcile suppressions."""
+    from repro.analysis.rules import selected_rules
+
+    active = list(rules) if rules is not None else selected_rules(config)
+    rel = _rel_for(path, root)
+    report = FileReport(rel=rel)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        report.findings.append(
+            Finding("parse-error", rel, getattr(exc, "lineno", 0) or 0, 0, str(exc))
+        )
+        return report
+    lines = source.splitlines()
+    ctx = FileContext(
+        path=path,
+        rel=rel,
+        tree=tree,
+        lines=lines,
+        config=config,
+        imports=ImportMap(tree),
+    )
+    suppressions = Suppressions(source)
+    raw: List[Finding] = []
+    for rule in active:
+        raw.extend(rule.check(ctx))
+    # Dedupe (a hazard reported twice at one location counts once).
+    seen: Set[Tuple[str, int, int, str]] = set()
+    for finding in sorted(raw, key=lambda f: (f.line, f.col, f.rule)):
+        key = (finding.rule, finding.line, finding.col, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        if suppressions.try_suppress(finding):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    from repro.analysis.rules import RULES_BY_ID
+
+    active_ids = {rule.rule_id for rule in active}
+    report.findings.extend(
+        suppressions.audit(rel, set(RULES_BY_ID), active_ids)
+    )
+    return report
+
+
+@dataclass
+class AnalysisResult:
+    """Whole-run outcome over many files."""
+
+    reports: List[FileReport]
+    files_analyzed: int
+
+    @property
+    def findings(self) -> List[Finding]:
+        return [f for report in self.reports for f in report.findings]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for report in self.reports for f in report.suppressed]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_analyzed": self.files_analyzed,
+            "findings": [f.to_json_dict() for f in self.findings],
+            "suppressed": [f.to_json_dict() for f in self.suppressed],
+            "summary": {
+                "by_rule": self.by_rule(),
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+            },
+            "clean": self.clean,
+        }
+
+
+def analyze_paths(
+    paths: Sequence[pathlib.Path],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    root: Optional[pathlib.Path] = None,
+) -> AnalysisResult:
+    """Analyze files/directories; the one-call API the CLI and tests use."""
+    from repro.analysis.rules import selected_rules
+
+    rules = selected_rules(config)
+    files = iter_python_files(paths, config)
+    reports = [
+        analyze_file(path, config=config, root=root, rules=rules) for path in files
+    ]
+    return AnalysisResult(reports=reports, files_analyzed=len(files))

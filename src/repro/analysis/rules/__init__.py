@@ -1,0 +1,41 @@
+"""Rule registry: one module per determinism-hazard rule.
+
+Adding a rule is three steps (docs/ANALYSIS.md has the worked example):
+write a module with a class exposing ``rule_id``/``title``/``check(ctx)``,
+import it here, append it to :data:`ALL_RULES`, and drop a red/green
+fixture pair under ``tests/data/analysis/``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.rules.dh001_rng import UnseededRngRule
+from repro.analysis.rules.dh002_wallclock import WallClockRule
+from repro.analysis.rules.dh003_set_order import SetOrderEscapeRule
+from repro.analysis.rules.dh004_hash_id import HashIdRule
+from repro.analysis.rules.dh005_mutable_state import MutableStateRule
+from repro.analysis.rules.dh006_fork_globals import ForkGlobalRule
+
+ALL_RULES = (
+    UnseededRngRule(),
+    WallClockRule(),
+    SetOrderEscapeRule(),
+    HashIdRule(),
+    MutableStateRule(),
+    ForkGlobalRule(),
+)
+
+RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def selected_rules(config: AnalysisConfig) -> List:
+    """The rule instances a config selects (all when ``config.rules`` is
+    empty); unknown ids raise so typos in ``--rules`` fail loudly."""
+    if not config.rules:
+        return list(ALL_RULES)
+    missing = [rid for rid in config.rules if rid not in RULES_BY_ID]
+    if missing:
+        raise KeyError(f"unknown rule id(s): {', '.join(missing)}")
+    return [RULES_BY_ID[rid] for rid in config.rules]

@@ -1,0 +1,95 @@
+"""DH001 — unseeded or module-level RNG outside the rng provider.
+
+The module-level ``random.*`` functions draw from one process-global
+generator whose state depends on import order, interpreter startup, and
+every other caller — the exact opposite of the named-stream discipline in
+:mod:`repro.sim.rng` ("changing how one subsystem consumes randomness
+must not perturb any other subsystem").  ``numpy.random.*`` free
+functions share the same hazard through numpy's global ``RandomState``.
+Unseeded constructors (``random.Random()``, ``numpy.random.default_rng()``
+with no arguments) seed from OS entropy, so two replays disagree by
+construction.
+
+Seeded construction (``random.Random(seed)``, ``default_rng(seed)``) is
+allowed everywhere; the sanctioned provider modules
+(:attr:`AnalysisConfig.rng_provider_modules`) may do whatever they like —
+owning raw generators is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import module_matches
+from repro.analysis.engine import FileContext, Finding
+
+#: Constructors that are fine when given an explicit seed argument.
+_SEEDABLE = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+}
+
+#: Always-hazardous dotted prefixes (module-level global generators).
+_FORBIDDEN_PREFIXES = ("numpy.random.",)
+
+#: ``random.SystemRandom`` reads OS entropy even when "seeded".
+_ALWAYS_FORBIDDEN = {"random.SystemRandom"}
+
+
+def _is_module_random_fn(dotted: str) -> bool:
+    return dotted.startswith("random.") and dotted not in _SEEDABLE | _ALWAYS_FORBIDDEN
+
+
+class UnseededRngRule:
+    rule_id = "DH001"
+    title = "unseeded / module-level RNG outside the rng provider"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if module_matches(ctx.rel, ctx.config.rng_provider_modules):
+            return
+        call_funcs = {
+            node.func for node in ast.walk(ctx.tree) if isinstance(node, ast.Call)
+        }
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = ctx.imports.resolve(node.func)
+                if dotted is None:
+                    continue
+                if dotted in _SEEDABLE:
+                    if not node.args and not node.keywords:
+                        yield self._finding(
+                            ctx,
+                            node,
+                            f"{dotted}() without a seed draws from OS entropy; "
+                            "pass an explicit seed (or take a stream from "
+                            "repro.sim.rng.RngStreams)",
+                        )
+                    continue
+                if (
+                    dotted in _ALWAYS_FORBIDDEN
+                    or _is_module_random_fn(dotted)
+                    or dotted.startswith(_FORBIDDEN_PREFIXES)
+                ):
+                    yield self._finding(
+                        ctx,
+                        node,
+                        f"{dotted}() uses a process-global generator; draw from a "
+                        "named stream (repro.sim.rng.RngStreams) instead",
+                    )
+            elif isinstance(node, ast.Attribute) and node not in call_funcs:
+                # Bare references (callbacks, aliases): `jitter = random.random`.
+                dotted = ctx.imports.resolve(node)
+                if dotted is None:
+                    continue
+                if dotted in _ALWAYS_FORBIDDEN or _is_module_random_fn(dotted):
+                    yield self._finding(
+                        ctx,
+                        node,
+                        f"reference to {dotted} binds the process-global generator",
+                    )
+
+    def _finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(self.rule_id, ctx.rel, node.lineno, node.col_offset, message)

@@ -1,0 +1,88 @@
+"""DH002 — wall-clock / entropy reads outside the live backend.
+
+This generalizes the regex lint that ``tests/test_time_purity.py``
+shipped in PR 9 (that test is now a thin wrapper over this rule): every
+guarantee in the determinism matrix rests on protocol and harness code
+measuring time through the clock seam
+(:class:`repro.net.backends.base.ClockBase`) and drawing randomness from
+seeded streams — never from the wall or the OS entropy pool.  The AST
+form also catches what the regex could not: aliased imports
+(``from time import perf_counter``), ``uuid``/``secrets``/``os.urandom``
+entropy reads, and datetime "now" constructors.
+
+Sanctioned home: :attr:`AnalysisConfig.wallclock_modules` — the live
+backend package, where :class:`~repro.net.backends.wallclock.WallClock`
+and the asyncio kernel read the wall by design.  Elapsed-time reporting
+elsewhere routes through ``repro.net.backends.wallclock.wall_seconds`` /
+``perf_seconds`` so every wall read stays visible at the seam.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import module_matches
+from repro.analysis.engine import FileContext, Finding
+
+FORBIDDEN_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.sleep",
+    "asyncio.sleep",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid3",
+    "uuid.uuid4",
+    "uuid.uuid5",
+    "uuid.getnode",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+FORBIDDEN_PREFIXES = ("secrets.",)
+
+
+def is_forbidden(dotted: str) -> bool:
+    return dotted in FORBIDDEN_CALLS or dotted.startswith(FORBIDDEN_PREFIXES)
+
+
+class WallClockRule:
+    rule_id = "DH002"
+    title = "wall-clock / entropy read outside net/backends/"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if module_matches(ctx.rel, ctx.config.wallclock_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            # Attribute chains resolve at their outermost node only
+            # (the `time` in `time.time` is not separately a hazard).
+            dotted = ctx.imports.resolve(node)
+            if dotted is None or not is_forbidden(dotted):
+                continue
+            if isinstance(node, ast.Name) and (
+                node.id == dotted or not isinstance(node.ctx, ast.Load)
+            ):
+                continue  # bare non-import name, or a local rebinding
+            yield Finding(
+                self.rule_id,
+                ctx.rel,
+                node.lineno,
+                node.col_offset,
+                f"{dotted} reads the wall clock / OS entropy; route through "
+                "repro.net.backends (ClockBase, wall_seconds, perf_seconds) "
+                "or a seeded stream",
+            )

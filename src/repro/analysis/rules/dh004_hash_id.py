@@ -1,0 +1,138 @@
+"""DH004 — ``id()`` / builtin ``hash()`` in ordering or keys.
+
+``id()`` is an address: it differs between the parent and a forked
+worker, between two runs of the same binary, and between serial and
+``--jobs`` execution — any ordering, key, or serialized value derived
+from it is unreplayable.  Builtin ``hash()`` on strings/bytes is salted
+by ``PYTHONHASHSEED``, so sort keys or bucket choices built on it change
+across interpreter launches.  The deterministic alternatives are stable
+ids (``repro.fuse.ids``), explicit tuple sort keys, or
+``hashlib``-derived digests (what :mod:`repro.sim.rng` and
+:mod:`repro.engine.sweep` already do).
+
+The rule flags every call to builtin ``id``/``hash`` (shadowed local
+definitions are respected), with a sharper message when the value
+flows into an obvious key/ordering position — a subscript, a dict
+literal key, a ``key=`` callable, or a keyed container method
+(``get``/``pop``/``setdefault``/…).  ``hash()`` inside a ``__hash__``
+implementation is exempt (delegating to member hashes is the idiom).
+Deliberate per-process uses (scenario scratch keyed by ``id(track)``)
+carry ``# repro: allow[DH004]`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.astutil import iter_parents
+from repro.analysis.engine import FileContext, Finding
+
+_KEYED_METHODS = {
+    "get",
+    "pop",
+    "setdefault",
+    "add",
+    "discard",
+    "remove",
+    "__getitem__",
+    "__setitem__",
+    "__contains__",
+}
+
+_ORDERING_CALLS = {"sorted", "min", "max"}
+
+
+class HashIdRule:
+    rule_id = "DH004"
+    title = "id()/hash() used in ordering or keys"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        parents = iter_parents(ctx.tree)
+        shadowed = self._shadowed_builtins(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Name) or func.id not in ("id", "hash"):
+                continue
+            if func.id in shadowed:
+                continue
+            if func.id == "hash" and self._inside_dunder_hash(node, parents):
+                continue
+            context = self._key_context(node, parents)
+            if context:
+                message = (
+                    f"{func.id}() used as {context}: values differ across "
+                    "processes/runs (PYTHONHASHSEED / address layout), so the "
+                    "derived order is unreplayable — use a stable key"
+                )
+            else:
+                message = (
+                    f"{func.id}() is process-specific (PYTHONHASHSEED / address "
+                    "layout); never let it reach ordering, keys, or output"
+                )
+            yield Finding(
+                self.rule_id, ctx.rel, node.lineno, node.col_offset, message
+            )
+
+    def _shadowed_builtins(self, tree: ast.Module) -> set:
+        out = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in ("id", "hash"):
+                    out.add(node.name)
+                for arg in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]:
+                    if arg.arg in ("id", "hash"):
+                        out.add(arg.arg)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id in ("id", "hash"):
+                        out.add(target.id)
+        return out
+
+    def _inside_dunder_hash(self, node: ast.AST, parents) -> bool:
+        cursor: Optional[ast.AST] = node
+        while cursor is not None:
+            if isinstance(cursor, ast.FunctionDef) and cursor.name == "__hash__":
+                return True
+            cursor = parents.get(cursor)
+        return False
+
+    def _key_context(self, node: ast.AST, parents) -> Optional[str]:
+        """A short description of the key/ordering position, or None."""
+        cursor = node
+        parent = parents.get(cursor)
+        hops = 0
+        while parent is not None and hops < 6:
+            if isinstance(parent, ast.Subscript) and cursor is not parent.value:
+                return "a subscript key"
+            if isinstance(parent, ast.Dict) and cursor in parent.keys:
+                return "a dict literal key"
+            if isinstance(parent, ast.Call):
+                if cursor in [kw.value for kw in parent.keywords if kw.arg == "key"]:
+                    return "a sort key"
+                name = parent.func
+                if isinstance(name, ast.Attribute) and name.attr in _KEYED_METHODS:
+                    if cursor in parent.args:
+                        return f"a {name.attr}() key"
+                if isinstance(name, ast.Name) and name.id in _ORDERING_CALLS:
+                    if cursor in parent.args:
+                        return f"an {name.id}() operand"
+                # Once the value disappears into an arbitrary call we
+                # stop climbing (the generic message still fires).
+                break
+            if isinstance(parent, (ast.Lambda, ast.FunctionDef, ast.Module)):
+                break
+            cursor, parent = parent, parents.get(parent)
+            hops += 1
+        # A lambda passed as key= : climb from the lambda itself.
+        cursor = node
+        while cursor is not None:
+            if isinstance(cursor, ast.Lambda):
+                grand = parents.get(cursor)
+                if isinstance(grand, ast.keyword) and grand.arg == "key":
+                    return "a sort key"
+                break
+            cursor = parents.get(cursor)
+        return None

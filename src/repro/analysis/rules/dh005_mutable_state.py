@@ -1,0 +1,74 @@
+"""DH005 — mutable defaults and module-level mutable state in tracks.
+
+Two shapes of shared-mutable-state hazard:
+
+* **Mutable default arguments** (anywhere in the tree): the default is
+  evaluated once and shared by every call — state leaks between calls,
+  and therefore between the serial replicas that reuse one callable.
+* **Module-level mutable bindings in scenario-track modules**
+  (:attr:`AnalysisConfig.track_modules`): PR 3's contract is that track
+  *instances* are reused across serial replicas and keep per-run state
+  on the :class:`~repro.scenarios.timeline.ScenarioContext` scratch —
+  a module-level list/dict/set is shared by *all* replicas in a
+  process but reset in a forked worker, so serial and ``--jobs`` runs
+  diverge.  ALL_CAPS names are exempt: registries like ``TRACK_KINDS``
+  are constants by repo convention (built at import, never mutated).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import is_constant_name, is_mutable_literal
+from repro.analysis.config import module_matches
+from repro.analysis.engine import FileContext, Finding
+
+
+class MutableStateRule:
+    rule_id = "DH005"
+    title = "mutable default arg / module-level mutable state in tracks"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                defaults = [*node.args.defaults, *node.args.kw_defaults]
+                for default in defaults:
+                    if default is not None and is_mutable_literal(default):
+                        name = getattr(node, "name", "<lambda>")
+                        yield Finding(
+                            self.rule_id,
+                            ctx.rel,
+                            default.lineno,
+                            default.col_offset,
+                            f"mutable default argument on {name}(): evaluated "
+                            "once and shared across calls (and replicas) — "
+                            "default to None and build inside",
+                        )
+        if not module_matches(ctx.rel, ctx.config.track_modules):
+            return
+        for stmt in ctx.tree.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if value is None or not is_mutable_literal(value):
+                continue
+            for target in targets:
+                if is_constant_name(target.id):
+                    continue
+                yield Finding(
+                    self.rule_id,
+                    ctx.rel,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"module-level mutable {target.id!r} in a scenario-track "
+                    "module: replicas share it in-process but not across "
+                    "forked workers — keep per-run state on ctx.scratch "
+                    "(or rename ALL_CAPS if it is a build-once registry)",
+                )

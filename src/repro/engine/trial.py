@@ -20,9 +20,10 @@ point under one seed.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping
+
+from repro.net.backends.wallclock import perf_seconds
 
 #: What a trial function returns: measurement name -> scalar or sample list.
 Measurements = Dict[str, Any]
@@ -102,9 +103,9 @@ class TrialResult:
 
 def run_trial(fn: TrialFn, spec: TrialSpec) -> TrialResult:
     """Execute one trial, timing it.  Runs in the caller's process."""
-    started = time.perf_counter()
+    started = perf_seconds()
     measurements = fn(spec)
-    elapsed = time.perf_counter() - started
+    elapsed = perf_seconds() - started
     if not isinstance(measurements, dict):
         raise TypeError(
             f"trial function for {spec.experiment!r} returned "

@@ -90,6 +90,10 @@ def _preferential_attachment_edges(n: int, m: int, rng: random.Random) -> List[T
     targets = list(range(m))
     repeated: List[int] = []
     for new_node in range(m, n):
+        # Int-set iteration is PYTHONHASHSEED-independent (ints hash to
+        # themselves), so this order is seed-stable; sorted() would walk
+        # buckets in a different order and invalidate every committed
+        # topology fixture.  # repro: allow[DH003]
         for t in set(targets):
             edges.append((t, new_node))
             repeated.append(t)

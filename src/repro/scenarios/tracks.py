@@ -196,13 +196,15 @@ class SvtreeTraffic(Track):
                 services[node].subscribe(topic, on_event)
             publisher = rng.choice(pool)
             topics.append((topic, publisher))
-        ctx.scratch[id(self)] = (topics, services)
+        # Scratch keys by track identity are per-process bookkeeping:
+        # never ordered, serialized, or compared across replicas.
+        ctx.scratch[id(self)] = (topics, services)  # repro: allow[DH004]
 
     def on_phase_start(self, ctx: ScenarioContext, phase: Phase) -> None:
         if phase.name != self.phase:
             return
         world = ctx.world
-        topics, services = ctx.scratch[id(self)]
+        topics, services = ctx.scratch[id(self)]  # repro: allow[DH004] scratch key, never ordered
         spacing_ms = MINUTE_MS / self.publish_per_minute
         end = ctx.phase_end_ms[phase.name]
 
@@ -297,11 +299,11 @@ class CrashRecoverWave(Track):
     stream: str = "scenario-churn"
 
     def _victims(self, ctx: ScenarioContext) -> List[NodeId]:
-        victims = ctx.scratch.get(id(self))
+        victims = ctx.scratch.get(id(self))  # repro: allow[DH004] scratch key, never ordered
         if victims is None:
             pool = resolve_nodes(self.nodes, ctx.world.node_ids)
             victims = ctx.stream(self.stream).sample(pool, self.count)
-            ctx.scratch[id(self)] = victims
+            ctx.scratch[id(self)] = victims  # repro: allow[DH004] scratch key, never ordered
         return victims
 
     def _crash_all(self, ctx: ScenarioContext) -> None:
@@ -495,7 +497,7 @@ class AsymmetricPartition(Track):
             raise ValueError(f"fraction must be in (0, 1): {self.fraction}")
 
     def _heal(self, ctx: ScenarioContext) -> None:
-        sides = ctx.scratch.pop(("asym", id(self)), None)
+        sides = ctx.scratch.pop(("asym", id(self)), None)  # repro: allow[DH004] scratch key, never ordered
         if sides is not None:
             ctx.world.net.faults.unblock_one_way_sets(*sides)
 
@@ -509,7 +511,7 @@ class AsymmetricPartition(Track):
         # One (side, side) cut, not |A|x|B| enumerated pairs: O(n) at any
         # world size.
         world.net.faults.block_one_way_sets(side_a, side_b)
-        ctx.scratch[("asym", id(self))] = (side_a, side_b)
+        ctx.scratch[("asym", id(self))] = (side_a, side_b)  # repro: allow[DH004] scratch key, never ordered
         ctx.extra.setdefault("asym_member_notifications", 0)
 
         def count_delivery(_group, _node, _reason) -> None:
@@ -693,7 +695,7 @@ class _PerfWindow(Track):
         raise NotImplementedError
 
     def _heal(self, ctx: ScenarioContext) -> None:
-        victims = ctx.scratch.pop(("perf", id(self)), None)
+        victims = ctx.scratch.pop(("perf", id(self)), None)  # repro: allow[DH004] scratch key, never ordered
         if victims is not None:
             faults = ctx.world.net.faults
             for node in victims:
@@ -708,7 +710,7 @@ class _PerfWindow(Track):
         faults = world.net.faults
         for node in victims:
             self._apply(faults, node)
-        ctx.scratch[("perf", id(self))] = victims
+        ctx.scratch[("perf", id(self))] = victims  # repro: allow[DH004] scratch key, never ordered
         if self.heal_after_minutes is not None:
             world.sim.call_after(
                 self.heal_after_minutes * MINUTE_MS, lambda: self._heal(ctx)

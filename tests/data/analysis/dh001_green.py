@@ -1,0 +1,19 @@
+"""GREEN fixture for DH001: seeded construction and stream parameters."""
+
+import random
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    return random.Random(seed)
+
+
+def seeded_numpy(seed):
+    return np.random.default_rng(seed)
+
+
+def draw(rng: random.Random) -> float:
+    # Methods on an *instance* are fine — only the module-level
+    # functions ride the process-global generator.
+    return rng.random()

@@ -1,0 +1,30 @@
+"""RED fixture for DH001: module-level / unseeded RNG.
+
+Never imported — only parsed by the analyzer tests.  Every function
+below must produce exactly one DH001 finding.
+"""
+
+import random
+
+import numpy as np
+from random import choice
+
+
+def jitter_ms():
+    return random.random() * 5.0  # module-level shared generator
+
+
+def pick(options):
+    return choice(options)  # from-import of a module-level function
+
+
+def unseeded_generator():
+    return random.Random()  # no seed: OS entropy at construction
+
+
+def noise(n):
+    return np.random.rand(n)  # numpy's process-global RandomState
+
+
+def unseeded_numpy():
+    return np.random.default_rng()  # no seed: OS entropy

@@ -1,0 +1,14 @@
+"""GREEN fixture for DH002: time through the clock seam only."""
+
+
+def now_ms(clock):
+    return clock.now  # a ClockBase: simulated or wall-anchored
+
+
+def deadline(clock, timeout_ms):
+    return clock.now + timeout_ms
+
+
+def report_elapsed(wall_seconds_fn, started):
+    # Elapsed reporting routes through the sanctioned helper, passed in.
+    return wall_seconds_fn() - started

@@ -1,0 +1,32 @@
+"""RED fixture for DH002: wall-clock / entropy reads."""
+
+import os
+import secrets
+import time
+import uuid
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    return time.time()  # direct wall read
+
+
+def elapsed(start):
+    return perf_counter() - start  # aliased import the old regex missed
+
+
+def token():
+    return uuid.uuid4()  # entropy-backed id
+
+
+def nonce():
+    return os.urandom(8)  # OS entropy
+
+
+def secret_key():
+    return secrets.token_hex(16)  # OS entropy
+
+
+def today():
+    return datetime.now()  # wall clock via datetime

@@ -1,0 +1,33 @@
+"""GREEN fixture for DH003: sorted escapes, order-free reductions."""
+
+
+def schedule_all(sim, pending):
+    ready = {node for node in pending if node is not None}
+    for node in sorted(ready):  # sorted(): replayable order
+        sim.schedule_soon(node)
+
+
+def census(items):
+    live = set(items)
+    return len(live)  # order-free reduction
+
+
+def contains(universe, node):
+    members = set(universe)
+    return node in members  # membership test: no order escapes
+
+
+def drain(queues, sim):
+    # Plain dict iteration: insertion-ordered in CPython, deterministic
+    # for a deterministically-built dict (strict_dict_order audits this).
+    for name, queue in queues.items():
+        sim.schedule_soon(queue)
+
+
+class DirtyTracker:
+    def __init__(self):
+        self._dirty = set()
+
+    def flush(self, ledger):
+        for node in sorted(self._dirty):
+            ledger.record_notification(node)

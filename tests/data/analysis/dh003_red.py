@@ -1,0 +1,35 @@
+"""RED fixture for DH003: set iteration order escaping into sinks."""
+
+
+def schedule_all(sim, pending):
+    ready = {node for node in pending if node is not None}
+    for node in ready:  # set-comprehension local, scheduler sink
+        sim.schedule_soon(node)
+
+
+def fanout(net, peer_list):
+    peers = set(peer_list)
+    for peer in peers:  # set() local, transport sink
+        net.send(peer, "ping")
+
+
+def snapshot(items):
+    live = set(items)
+    return list(live)  # list() materializes hash order
+
+
+def chain(a, b):
+    merged = set(a) | set(b)
+    return [x for x in merged]  # list comprehension materializes order
+
+
+class DirtyTracker:
+    def __init__(self):
+        self._dirty = set()
+
+    def mark(self, node):
+        self._dirty.add(node)
+
+    def flush(self, ledger):
+        for node in self._dirty:  # set-typed self attribute, ledger sink
+            ledger.record_notification(node)

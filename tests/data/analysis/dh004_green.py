@@ -1,0 +1,23 @@
+"""GREEN fixture for DH004: the sanctioned shapes."""
+
+
+class StableKey:
+    __slots__ = ("name", "serial")
+
+    def __init__(self, name, serial):
+        self.name = name
+        self.serial = serial
+
+    def __hash__(self):
+        return hash((self.name, self.serial))  # exempt inside __hash__
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, StableKey)
+            and (self.name, self.serial) == (other.name, other.serial)
+        )
+
+
+def order(records):
+    # Stable tuple sort key instead of an address.
+    return sorted(records, key=lambda r: (r.when, r.serial))

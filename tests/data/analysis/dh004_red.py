@@ -1,0 +1,20 @@
+"""RED fixture for DH004: id()/hash() in keys and ordering."""
+
+
+def index(objs):
+    table = {}
+    for obj in objs:
+        table[id(obj)] = obj  # subscript key from an address
+    return table
+
+
+def order(objs):
+    return sorted(objs, key=lambda o: id(o))  # address-ordered sort
+
+
+def bucket(name, n_buckets):
+    return hash(name) % n_buckets  # PYTHONHASHSEED-salted placement
+
+
+def lookup(cache, track):
+    return cache.get(id(track))  # keyed container method

@@ -1,0 +1,14 @@
+"""GREEN fixture for DH005: None defaults, built inside."""
+
+
+def collect(item, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc
+
+
+def register(name, registry=None):
+    registry = dict(registry or {})
+    registry[name] = True
+    return registry

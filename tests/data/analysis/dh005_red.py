@@ -1,0 +1,16 @@
+"""RED fixture for DH005: mutable default arguments."""
+
+
+def collect(item, acc=[]):  # shared list across every call
+    acc.append(item)
+    return acc
+
+
+def register(name, registry={}):  # shared dict across every call
+    registry[name] = True
+    return registry
+
+
+def tag(value, seen=set()):  # shared set across every call
+    seen.add(value)
+    return value in seen

@@ -1,0 +1,19 @@
+"""RED fixture for DH006: post-fork global mutation.
+
+Named ``engine/parallel.py`` so the default worker-module pattern
+matches it.  Never imported.
+"""
+
+CACHE = {}
+TOTAL = 0
+
+
+def run_trial_worker(spec):
+    global TOTAL  # rebinds module state post-fork
+    TOTAL = TOTAL + 1
+    CACHE[spec] = TOTAL  # writes through a module-level name
+    return TOTAL
+
+
+def warm_cache(results):
+    CACHE.update(results)  # mutator call on a module-level name

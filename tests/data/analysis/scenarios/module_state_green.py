@@ -1,0 +1,11 @@
+"""GREEN fixture for DH005 module-level state in a track module."""
+
+#: Build-once registry: ALL_CAPS marks it constant by repo convention.
+TRACK_KINDS = {"steady": object, "churn": object}
+
+PHASES = ("warmup", "steady")
+
+
+def on_phase_start(ctx, phase):
+    # Per-run state belongs on the scenario context, not the module.
+    ctx.scratch.setdefault("phases_seen", []).append(phase.name)

@@ -1,0 +1,14 @@
+"""RED fixture for DH005 module-level state.
+
+Lives under a ``scenarios/`` directory so the default config's
+track-module pattern applies to it.
+"""
+
+runs_seen = []  # shared by all replicas in-process, reset across forks
+
+_cache = {}  # same hazard, "private" spelling
+
+
+def on_phase_start(ctx, phase):
+    runs_seen.append(phase.name)
+    _cache[phase.name] = ctx

@@ -1,0 +1,12 @@
+"""Fixture: both suppression placements silence a real DH001 finding."""
+
+import random
+
+
+def jitter_same_line():
+    return random.random()  # repro: allow[DH001] fixture: same-line suppression
+
+
+def jitter_comment_above():
+    # repro: allow[DH001] fixture: comment-above suppression
+    return random.random()

@@ -1,0 +1,9 @@
+"""Fixture: an allow comment on a clean line must fail the audit."""
+
+
+def clean():
+    return 1  # repro: allow[DH001] nothing hazardous here
+
+
+def also_clean():
+    return 2  # repro: allow[DH999] no rule has this id

@@ -4,32 +4,35 @@ The determinism story — byte-identical event streams for a fixed seed,
 the cross-mode determinism matrix, the parallel window protocol — rests
 on exactly one rule: protocol and harness code measures time through the
 clock seam (:class:`repro.net.backends.base.ClockBase`), never the wall.
-This test greps the source tree for the three ways wall time leaks in
-(``time.time()``, ``time.monotonic()``, ``asyncio.sleep``) and fails on
-any hit outside the sanctioned home: the live backend package
-(``net/backends/``), which is where the wall-clock :class:`WallClock`
-and the asyncio kernel live by design.
+
+Since PR 10 this test is a thin wrapper over rule **DH002** of the
+static analyzer (:mod:`repro.analysis`) instead of a regex walker of its
+own: same sanctioned-module list (:attr:`AnalysisConfig.wallclock_modules`
+— the live backend package, where :class:`WallClock` and the asyncio
+kernel live by design), one shared implementation, and the AST form also
+catches aliased imports (``from time import perf_counter``) and
+``uuid``/``secrets``/``os.urandom`` entropy reads the regex missed.
 
 Adding a wall-clock read anywhere else should hurt; route it through
-``repro.net.backends.wallclock.wall_seconds`` (CLI elapsed-time
-reporting) or a ``ClockBase`` instead.
+``repro.net.backends.wallclock.wall_seconds`` / ``perf_seconds`` or a
+``ClockBase`` instead.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import pathlib
-import re
+
+from repro.analysis import DEFAULT_CONFIG, analyze_paths
+from repro.analysis.rules.dh002_wallclock import WallClockRule
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: The only package allowed to touch the wall clock or the real loop.
-ALLOWED_PREFIXES = ("net/backends/",)
+#: The only package allowed to touch the wall clock or the real loop —
+#: read from the shared analyzer config, not duplicated here.
+ALLOWED_PREFIXES = DEFAULT_CONFIG.wallclock_modules
 
-FORBIDDEN = re.compile(r"time\.time\(\)|time\.monotonic\(\)|asyncio\.sleep")
-
-
-def _is_allowed(rel: str) -> bool:
-    return any(rel.startswith(prefix) for prefix in ALLOWED_PREFIXES)
+DH002_ONLY = dataclasses.replace(DEFAULT_CONFIG, rules=("DH002",))
 
 
 def test_source_tree_exists():
@@ -37,14 +40,8 @@ def test_source_tree_exists():
 
 
 def test_no_wall_clock_outside_backends():
-    offenders = []
-    for path in sorted(SRC.rglob("*.py")):
-        rel = path.relative_to(SRC).as_posix()
-        if _is_allowed(rel):
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-            if FORBIDDEN.search(line):
-                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    result = analyze_paths([SRC], config=DH002_ONLY, root=SRC.parent.parent)
+    offenders = [f.render() for f in result.findings]
     assert not offenders, (
         "wall-clock usage outside net/backends/ (route through "
         "repro.net.backends.wallclock or a ClockBase):\n" + "\n".join(offenders)
@@ -54,10 +51,15 @@ def test_no_wall_clock_outside_backends():
 def test_backends_package_is_the_sanctioned_home():
     """The allowlist must keep pointing at real code — if the backend
     package moves, the lint must move with it, not rot into a no-op."""
+    assert ALLOWED_PREFIXES == ("net/backends/",)
     assert (SRC / "net" / "backends" / "wallclock.py").is_file()
-    hits = [
-        path
-        for path in (SRC / "net" / "backends").rglob("*.py")
-        if FORBIDDEN.search(path.read_text())
-    ]
+    # Run DH002 with the sanction list emptied: the backend package
+    # itself must light up, proving the rule still sees real wall reads.
+    unsanctioned = dataclasses.replace(
+        DH002_ONLY, wallclock_modules=("nowhere/does-not-exist/",)
+    )
+    result = analyze_paths(
+        [SRC / "net" / "backends"], config=unsanctioned, root=SRC.parent.parent
+    )
+    hits = [f for f in result.findings if f.rule == WallClockRule.rule_id]
     assert hits, "expected the backend package itself to use wall time"
